@@ -1,0 +1,179 @@
+package ivliw
+
+import (
+	"fmt"
+
+	"ivliw/internal/addrspace"
+	"ivliw/internal/arch"
+	"ivliw/internal/cache"
+	"ivliw/internal/core"
+	"ivliw/internal/ir"
+	"ivliw/internal/sched"
+	"ivliw/internal/sim"
+	"ivliw/internal/stats"
+)
+
+// Config is the machine description (Table 2 of the paper).
+type Config = arch.Config
+
+// DefaultConfig returns the paper's 4-cluster word-interleaved machine.
+func DefaultConfig() Config { return arch.Default() }
+
+// UnifiedConfig returns the unified-cache baseline with the given total
+// access latency (1 = optimistic, 5 = realistic).
+func UnifiedConfig(latency int) Config { return arch.UnifiedConfig(latency) }
+
+// MultiVLIWConfig returns the cache-coherent clustered machine.
+func MultiVLIWConfig() Config { return arch.MultiVLIWConfig() }
+
+// Loop is a modulo-schedulable innermost loop.
+type Loop = ir.Loop
+
+// LoopBuilder incrementally constructs a Loop.
+type LoopBuilder = ir.Builder
+
+// NewLoop starts building a loop with the given name, average trip count
+// and dynamic weight.
+func NewLoop(name string, avgIters int, weight float64) *LoopBuilder {
+	return ir.NewBuilder(name, avgIters, weight)
+}
+
+// MemInfo describes a memory instruction's address behaviour.
+type MemInfo = ir.MemInfo
+
+// Opcode classes for LoopBuilder.Op.
+const (
+	OpIntALU = ir.OpIntALU
+	OpMul    = ir.OpMul
+	OpDiv    = ir.OpDiv
+	OpFPALU  = ir.OpFPALU
+)
+
+// Storage classes for MemInfo.Kind (they select the §4.3.4 alignment
+// policy: stack and heap symbols are padded to N·I when alignment is on;
+// globals never move).
+const (
+	Global = ir.AllocGlobal
+	Stack  = ir.AllocStack
+	Heap   = ir.AllocHeap
+)
+
+// Heuristic selects the memory cluster-assignment policy.
+type Heuristic = sched.Heuristic
+
+// The paper's three heuristics.
+const (
+	BASE = sched.Base
+	IBC  = sched.IBC
+	IPBC = sched.IPBC
+)
+
+// UnrollMode selects the unrolling policy.
+type UnrollMode = core.UnrollMode
+
+// The paper's unrolling policies.
+const (
+	NoUnroll  = core.NoUnroll
+	UnrollxN  = core.UnrollxN
+	OUFUnroll = core.OUFUnroll
+	Selective = core.Selective
+)
+
+// CompileOptions configures the scheduling pipeline.
+type CompileOptions = core.Options
+
+// Compiled is a scheduled loop with its profile and annotations.
+type Compiled = core.Compiled
+
+// LoopStats is the measurement of one simulated loop.
+type LoopStats = stats.Loop
+
+// BenchStats aggregates loop measurements.
+type BenchStats = stats.Bench
+
+// Program fixes a machine configuration, a set of loops (which determines
+// the data layout), and the identities of the profile and execution data
+// sets. It mirrors the paper's setup: the compiler profiles on one input
+// file and the evaluation runs on another.
+type Program struct {
+	cfg      Config
+	loops    []*Loop
+	profDS   addrspace.Dataset
+	execDS   addrspace.Dataset
+	profLay  *addrspace.Layout
+	execLay  *addrspace.Layout
+	hier     cache.Hierarchy
+	profSeed uint64
+}
+
+// ProgramOption customizes a Program.
+type ProgramOption func(*programConfig)
+
+type programConfig struct {
+	profileSeed, execSeed uint64
+	aligned               bool
+}
+
+// WithSeeds sets the profile and execution data-set seeds (they default to
+// 1 and 2).
+func WithSeeds(profile, exec uint64) ProgramOption {
+	return func(pc *programConfig) { pc.profileSeed, pc.execSeed = profile, exec }
+}
+
+// WithoutAlignment disables the §4.3.4 variable-alignment policy (it is on
+// by default).
+func WithoutAlignment() ProgramOption {
+	return func(pc *programConfig) { pc.aligned = false }
+}
+
+// NewProgram builds a Program over the given loops.
+func NewProgram(cfg Config, loops []*Loop, opts ...ProgramOption) *Program {
+	pc := programConfig{profileSeed: 1, execSeed: 2, aligned: true}
+	for _, o := range opts {
+		o(&pc)
+	}
+	profDS := addrspace.Dataset{Seed: pc.profileSeed, Aligned: pc.aligned}
+	execDS := addrspace.Dataset{Seed: pc.execSeed, Aligned: pc.aligned}
+	return &Program{
+		cfg:     cfg,
+		loops:   loops,
+		profDS:  profDS,
+		execDS:  execDS,
+		profLay: addrspace.NewLayout(loops, cfg, profDS),
+		execLay: addrspace.NewLayout(loops, cfg, execDS),
+		hier:    cache.New(cfg),
+	}
+}
+
+// Config returns the machine configuration.
+func (p *Program) Config() Config { return p.cfg }
+
+// Compile runs the paper's full pipeline (unroll → assign latencies → order
+// → assign clusters and schedule) on one of the program's loops.
+func (p *Program) Compile(l *Loop, opt CompileOptions) (*Compiled, error) {
+	if !p.contains(l) {
+		return nil, fmt.Errorf("ivliw: loop %q is not part of this program", l.Name)
+	}
+	return core.Compile(l, p.cfg, p.profLay, p.profDS, opt)
+}
+
+func (p *Program) contains(l *Loop) bool {
+	for _, x := range p.loops {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Run simulates the compiled loop on the execution data set for its average
+// trip count, sharing the program's cache state across calls (Attraction
+// Buffers are flushed between loops, as the architecture requires).
+func (p *Program) Run(c *Compiled) LoopStats {
+	return p.RunIters(c, int64(c.Loop.AvgIters))
+}
+
+// RunIters simulates the compiled loop for an explicit trip count.
+func (p *Program) RunIters(c *Compiled, iters int64) LoopStats {
+	return sim.RunLoop(c.Schedule, p.execLay, p.execDS, p.cfg, p.hier, iters, c.Meta())
+}

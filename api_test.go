@@ -1,0 +1,121 @@
+package ivliw_test
+
+import (
+	"testing"
+
+	"ivliw"
+)
+
+func saxpyLoop(t *testing.T) *ivliw.Loop {
+	t.Helper()
+	b := ivliw.NewLoop("saxpy", 256, 1)
+	x := b.Load("x", ivliw.MemInfo{Sym: "x", Kind: ivliw.Heap, Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 4096})
+	m := b.Op("mul", ivliw.OpFPALU)
+	s := b.Store("y", ivliw.MemInfo{Sym: "y", Kind: ivliw.Heap, Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 4096})
+	b.Flow(x, m).Flow(m, s)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestQuickstart exercises the documented public API path end to end.
+func TestQuickstart(t *testing.T) {
+	cfg := ivliw.DefaultConfig()
+	cfg.AttractionBuffers = true
+	loop := saxpyLoop(t)
+	prog := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+	c, err := prog.Compile(loop, ivliw.CompileOptions{Heuristic: ivliw.IPBC, Unroll: ivliw.Selective})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Schedule.II < 1 {
+		t.Fatalf("II = %d", c.Schedule.II)
+	}
+	// Selective unrolling must pick the ×4 factor for unit-stride word
+	// accesses (stride×4 = N·I).
+	if c.UnrollFactor != 4 {
+		t.Errorf("unroll factor = %d, want 4", c.UnrollFactor)
+	}
+	res := prog.Run(c)
+	if res.TotalCycles() <= 0 {
+		t.Error("no cycles simulated")
+	}
+	if res.TotalAccesses() == 0 {
+		t.Error("no accesses simulated")
+	}
+	// After OUF unrolling + alignment + IPBC the accesses are mostly
+	// local (hits or misses).
+	if lr := res.LocalHitRatio(); lr < 0.2 {
+		t.Errorf("local hit ratio = %g, want meaningful locality", lr)
+	}
+}
+
+// TestHeuristicsDiffer: the three heuristics must produce valid, generally
+// different schedules on the same loop set.
+func TestHeuristicsDiffer(t *testing.T) {
+	cfg := ivliw.DefaultConfig()
+	loop := saxpyLoop(t)
+	prog := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+	for _, h := range []ivliw.Heuristic{ivliw.BASE, ivliw.IBC, ivliw.IPBC} {
+		c, err := prog.Compile(loop, ivliw.CompileOptions{Heuristic: h, Unroll: ivliw.UnrollxN})
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		res := prog.RunIters(c, 64)
+		if res.TotalCycles() <= 0 {
+			t.Errorf("%v: no cycles", h)
+		}
+	}
+}
+
+// TestUnifiedProgram: a unified-cache program forces the BASE heuristic and
+// never reports remote accesses.
+func TestUnifiedProgram(t *testing.T) {
+	cfg := ivliw.UnifiedConfig(5)
+	loop := saxpyLoop(t)
+	prog := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+	c, err := prog.Compile(loop, ivliw.CompileOptions{Heuristic: ivliw.IPBC, Unroll: ivliw.NoUnroll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := prog.Run(c)
+	acc := res.Accesses
+	if acc[1] != 0 || acc[3] != 0 {
+		t.Errorf("unified cache produced remote accesses: %v", acc)
+	}
+}
+
+// TestForeignLoopRejected: compiling a loop outside the program's layout is
+// an error (its symbols have no addresses).
+func TestForeignLoopRejected(t *testing.T) {
+	cfg := ivliw.DefaultConfig()
+	a := saxpyLoop(t)
+	other := saxpyLoop(t)
+	prog := ivliw.NewProgram(cfg, []*ivliw.Loop{a})
+	if _, err := prog.Compile(other, ivliw.CompileOptions{}); err == nil {
+		t.Error("Compile accepted a loop not in the program")
+	}
+}
+
+// TestSeedsAndAlignmentOptions: options must change the layout behaviour.
+func TestSeedsAndAlignmentOptions(t *testing.T) {
+	cfg := ivliw.DefaultConfig()
+	loop := saxpyLoop(t)
+	base := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+	seeded := ivliw.NewProgram(cfg, []*ivliw.Loop{loop}, ivliw.WithSeeds(7, 8), ivliw.WithoutAlignment())
+	cb, err := base.Compile(loop, ivliw.CompileOptions{Heuristic: ivliw.IPBC, Unroll: ivliw.OUFUnroll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := seeded.Compile(loop, ivliw.CompileOptions{Heuristic: ivliw.IPBC, Unroll: ivliw.OUFUnroll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := base.Run(cb)
+	rs := seeded.Run(cs)
+	if rb.TotalAccesses() == 0 || rs.TotalAccesses() == 0 {
+		t.Fatal("no accesses")
+	}
+}

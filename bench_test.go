@@ -1,0 +1,290 @@
+package ivliw_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ivliw"
+	"ivliw/internal/experiments"
+	"ivliw/internal/stats"
+	"ivliw/internal/workload"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation section. Each figure benchmark runs the full 14-benchmark
+// synthetic Mediabench suite through compilation and cycle-level simulation
+// for every variant the figure compares, and reports the headline metric of
+// that figure via b.ReportMetric. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The absolute cycle counts are not expected to match the paper (the
+// workloads are synthetic); the comparisons between bars are.
+
+// BenchmarkTable1 regenerates the benchmark/input table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the configuration table.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table2() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the memory-access classification: 14
+// benchmarks × 4 IPBC variants. Reported metric: AMEAN local-hit share of
+// the OUF+alignment bar (the paper's headline configuration).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean := rows[len(rows)-1]
+		b.ReportMetric(mean.Bars[2].Shares[stats.LHit], "localhits/access")
+		b.ReportMetric(mean.Bars[2].Shares[stats.LHit]-mean.Bars[0].Shares[stats.LHit], "unroll-gain")
+	}
+}
+
+// BenchmarkFigure5 regenerates the stall-cause classification (IBC and
+// IPBC under selective unrolling).
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 14 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates stall time by access type for IBC/IPBC with
+// and without Attraction Buffers. Reported metrics: the AMEAN normalized
+// stall of the two +AB bars (the paper reports 0.66 and 0.71 relative to
+// each heuristic's own no-AB stall).
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean := rows[len(rows)-1]
+		b.ReportMetric(mean.Bars[1].Normalized, "IBC+AB/IBC")
+		if mean.Bars[2].Normalized > 0 {
+			b.ReportMetric(mean.Bars[3].Normalized/mean.Bars[2].Normalized, "IPBC+AB/IPBC")
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the workload-balance study.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ouf float64
+		for _, r := range rows {
+			ouf += r.OUF
+		}
+		b.ReportMetric(ouf/float64(len(rows)), "balance-OUF")
+	}
+}
+
+// BenchmarkFigure8 regenerates the cross-architecture cycle counts.
+// Reported metrics: AMEAN normalized cycles of each bar (baseline
+// Unified(L=1) = 1.0).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean := rows[len(rows)-1]
+		for _, bar := range mean.Bars {
+			b.ReportMetric(bar.Compute+bar.Stall, bar.Variant)
+		}
+	}
+}
+
+// BenchmarkCompile measures the compiler pipeline alone (no simulation) on
+// every loop of the suite under IPBC + selective unrolling.
+func BenchmarkCompile(b *testing.B) {
+	spec, _ := workload.ByName("gsmdec")
+	v := experiments.Interleaved("IPBC", ivliw.IPBC, ivliw.Selective, true, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBench(spec, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate measures compile+simulate throughput per benchmark for
+// the headline configuration (interleaved, IPBC, ABs).
+func BenchmarkSimulate(b *testing.B) {
+	for _, name := range []string{"gsmdec", "jpegenc", "pgpdec"} {
+		spec, _ := workload.ByName(name)
+		v := experiments.Interleaved("IPBC+AB", ivliw.IPBC, ivliw.Selective, true, true, false)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunBench(spec, v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TotalCycles()), "cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkScheduler isolates the modulo scheduler on progressively larger
+// unrolled bodies (an ablation of scheduling cost, not a paper figure).
+func BenchmarkScheduler(b *testing.B) {
+	for _, unroll := range []ivliw.UnrollMode{ivliw.NoUnroll, ivliw.UnrollxN} {
+		b.Run(fmt.Sprintf("unroll=%v", unroll), func(b *testing.B) {
+			cfg := ivliw.DefaultConfig()
+			lb := ivliw.NewLoop("bench", 256, 1)
+			var prev int = -1
+			for k := 0; k < 8; k++ {
+				ld := lb.Load("ld", ivliw.MemInfo{
+					Sym: fmt.Sprintf("a%d", k), Kind: ivliw.Heap,
+					Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 2048,
+				})
+				op := lb.Op("op", ivliw.OpIntALU)
+				lb.Flow(ld, op)
+				if prev >= 0 {
+					lb.Flow(prev, op)
+				}
+				prev = op
+			}
+			loop := lb.MustBuild()
+			prog := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Compile(loop, ivliw.CompileOptions{
+					Heuristic: ivliw.IPBC, Unroll: unroll,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAttractionBuffers quantifies the Attraction Buffer
+// design choice on the chain-heavy benchmarks (DESIGN.md ablation).
+func BenchmarkAblationAttractionBuffers(b *testing.B) {
+	for _, ab := range []bool{false, true} {
+		b.Run(fmt.Sprintf("AB=%v", ab), func(b *testing.B) {
+			spec, _ := workload.ByName("pgpdec")
+			v := experiments.Interleaved("IBC", ivliw.IBC, ivliw.Selective, true, ab, false)
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunBench(spec, v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.StallCycles()), "stallcycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAlignment quantifies variable alignment (DESIGN.md
+// ablation; the §4.3.4 padding).
+func BenchmarkAblationAlignment(b *testing.B) {
+	for _, aligned := range []bool{false, true} {
+		b.Run(fmt.Sprintf("aligned=%v", aligned), func(b *testing.B) {
+			spec, _ := workload.ByName("gsmdec")
+			v := experiments.Interleaved("IPBC", ivliw.IPBC, ivliw.OUFUnroll, aligned, false, false)
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunBench(spec, v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.LocalHitRatio(), "localhitratio")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationChains quantifies the memory-dependent-chain constraint
+// (DESIGN.md ablation; correctness cost of the software memory model).
+func BenchmarkAblationChains(b *testing.B) {
+	for _, noChains := range []bool{false, true} {
+		b.Run(fmt.Sprintf("noChains=%v", noChains), func(b *testing.B) {
+			spec, _ := workload.ByName("epicdec")
+			v := experiments.Interleaved("IPBC", ivliw.IPBC, ivliw.OUFUnroll, true, false, noChains)
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunBench(spec, v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.LocalHitRatio(), "localhitratio")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLatencyAssignment quantifies the latency-assignment pass
+// (DESIGN.md ablation): without it, recurrence-bound loops pay remote-miss
+// latencies in their IIs.
+func BenchmarkAblationLatencyAssignment(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		b.Run(fmt.Sprintf("disabled=%v", disabled), func(b *testing.B) {
+			spec, _ := workload.ByName("g721dec")
+			v := experiments.Interleaved("IPBC", ivliw.IPBC, ivliw.Selective, true, false, false)
+			v.Opt.NoLatAssign = disabled
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunBench(spec, v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TotalCycles()), "cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOrdering quantifies the swing modulo scheduling order
+// (DESIGN.md ablation) against naive instruction order.
+func BenchmarkAblationOrdering(b *testing.B) {
+	for _, naive := range []bool{false, true} {
+		b.Run(fmt.Sprintf("naive=%v", naive), func(b *testing.B) {
+			spec, _ := workload.ByName("rasta")
+			v := experiments.Interleaved("IPBC", ivliw.IPBC, ivliw.Selective, true, false, false)
+			v.Opt.NaiveOrder = naive
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunBench(spec, v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.TotalCycles()), "cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkInterleaveSweep regenerates the §5.1 future-work interleaving
+// study (see examples/interleave-sweep).
+func BenchmarkInterleaveSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.InterleaveSweep([]string{"gsmdec", "jpegenc"}, []int{2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatal("bad sweep")
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Command ivliw-sched compiles one loop of the synthetic Mediabench-like
+// suite with the paper's scheduling pipeline and prints the resulting
+// modulo schedule: the latency assignment trace, the swing order, the
+// per-cluster placement, and the inserted inter-cluster copies.
+//
+// Usage:
+//
+//	ivliw-sched [-bench gsmdec] [-loop 0] [-heuristic IPBC|IBC|BASE]
+//	            [-unroll selective|none|xN|OUF] [-org interleaved|multivliw|unified]
+//	            [-no-chains] [-no-align]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"ivliw/internal/addrspace"
+	"ivliw/internal/arch"
+	"ivliw/internal/core"
+	"ivliw/internal/sched"
+	"ivliw/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ivliw-sched: ")
+	var (
+		benchName = flag.String("bench", "gsmdec", "benchmark name (see ivliw-bench -exp table1)")
+		loopIdx   = flag.Int("loop", 0, "loop index within the benchmark")
+		heuristic = flag.String("heuristic", "IPBC", "cluster heuristic: BASE, IBC or IPBC")
+		unrollStr = flag.String("unroll", "selective", "unrolling: none, xN, OUF or selective")
+		orgStr    = flag.String("org", "interleaved", "cache organization: interleaved, multivliw or unified")
+		noChains  = flag.Bool("no-chains", false, "disable memory dependent chains (ablation)")
+		noAlign   = flag.Bool("no-align", false, "disable variable alignment")
+	)
+	flag.Parse()
+
+	spec, ok := workload.ByName(*benchName)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *benchName)
+	}
+	if *loopIdx < 0 || *loopIdx >= len(spec.Loops) {
+		log.Fatalf("benchmark %s has loops 0..%d", spec.Name, len(spec.Loops)-1)
+	}
+	cfg, err := parseOrg(*orgStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := parseHeuristic(*heuristic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	um, err := parseUnroll(*unrollStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	loop := spec.Loops[*loopIdx].Loop
+	profDS := addrspace.Dataset{Seed: spec.ProfileSeed, Aligned: !*noAlign}
+	profLay := addrspace.NewLayout(spec.AllLoops(), cfg, profDS)
+
+	c, err := core.Compile(loop, cfg, profLay, profDS, core.Options{
+		Heuristic: h, Unroll: um, NoChains: *noChains,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("loop %s  (%s cache, %v, %v unrolling)\n", loop.Name, cfg.Org, h, um)
+	fmt.Printf("unroll factor %d   II %d (MII %d)   stages %d   copies %d   balance %.2f\n\n",
+		c.UnrollFactor, c.Schedule.II, c.Schedule.MII, c.Schedule.SC,
+		len(c.Schedule.Copies), c.Schedule.WorkloadBalance(cfg.Clusters))
+
+	if len(c.Latency.Steps) > 0 {
+		fmt.Println("latency assignment steps (target MII", c.Latency.TargetMII, "):")
+		for _, s := range c.Latency.Steps {
+			if s.Slack {
+				fmt.Printf("  %-14s %2d -> %2d  (slack re-absorption)\n",
+					c.Loop.Instrs[s.Instr].Name, s.From, s.To)
+				continue
+			}
+			fmt.Printf("  %-14s %2d -> %2d  ∆II=%-3d ∆stall=%-6.2f B=%.2f\n",
+				c.Loop.Instrs[s.Instr].Name, s.From, s.To, s.DeltaII, s.DeltaStall, s.B)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("schedule (cycle, cluster):")
+	ids := make([]int, len(c.Loop.Instrs))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		pa, pb := c.Schedule.Place[ids[a]], c.Schedule.Place[ids[b]]
+		if pa.Cycle != pb.Cycle {
+			return pa.Cycle < pb.Cycle
+		}
+		return ids[a] < ids[b]
+	})
+	for _, id := range ids {
+		in := c.Loop.Instrs[id]
+		p := c.Schedule.Place[id]
+		extra := ""
+		if in.IsMem() {
+			st := c.Profile.Stats(id)
+			extra = fmt.Sprintf("  lat=%-2d hit=%.2f pref=c%d", c.Schedule.Assigned[id],
+				st.HitRate(), c.Preferred[id])
+			if ch := c.Chains.ChainOf(id); ch >= 0 && c.Chains.Len(id) > 1 {
+				extra += fmt.Sprintf(" chain=%d", ch)
+			}
+		}
+		fmt.Printf("  t=%-4d c%-2d %-6s %-14s%s\n", p.Cycle, p.Cluster, in.Class, in.Name, extra)
+	}
+	if len(c.Schedule.Copies) > 0 {
+		fmt.Println("\ninter-cluster copies (bus transfers):")
+		for _, cp := range c.Schedule.Copies {
+			fmt.Printf("  t=%-4d %s(c%d) -> %s(c%d)\n", cp.Cycle,
+				c.Loop.Instrs[cp.From].Name, cp.FromCluster,
+				c.Loop.Instrs[cp.To].Name, cp.ToCluster)
+		}
+	}
+}
+
+func parseOrg(s string) (arch.Config, error) {
+	switch strings.ToLower(s) {
+	case "interleaved":
+		return arch.Default(), nil
+	case "multivliw":
+		return arch.MultiVLIWConfig(), nil
+	case "unified":
+		return arch.UnifiedConfig(5), nil
+	}
+	return arch.Config{}, fmt.Errorf("unknown organization %q", s)
+}
+
+func parseHeuristic(s string) (sched.Heuristic, error) {
+	switch strings.ToUpper(s) {
+	case "BASE":
+		return sched.Base, nil
+	case "IBC":
+		return sched.IBC, nil
+	case "IPBC":
+		return sched.IPBC, nil
+	}
+	return 0, fmt.Errorf("unknown heuristic %q", s)
+}
+
+func parseUnroll(s string) (core.UnrollMode, error) {
+	switch strings.ToLower(s) {
+	case "none", "no", "1":
+		return core.NoUnroll, nil
+	case "xn", "n":
+		return core.UnrollxN, nil
+	case "ouf":
+		return core.OUFUnroll, nil
+	case "selective":
+		return core.Selective, nil
+	}
+	return 0, fmt.Errorf("unknown unroll mode %q", s)
+}

@@ -1,0 +1,140 @@
+// Command ivliw-sim compiles and simulates one benchmark of the synthetic
+// Mediabench-like suite under a chosen machine organization and scheduling
+// heuristic, and prints the per-loop and whole-benchmark measurements:
+// access classification, stall attribution, workload balance and cycle
+// counts.
+//
+// Usage:
+//
+//	ivliw-sim [-bench gsmdec] [-heuristic IPBC] [-org interleaved]
+//	          [-unroll selective] [-ab] [-ab-hints] [-no-chains] [-no-align]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"ivliw/internal/arch"
+	"ivliw/internal/core"
+	"ivliw/internal/experiments"
+	"ivliw/internal/sched"
+	"ivliw/internal/stats"
+	"ivliw/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ivliw-sim: ")
+	var (
+		benchName = flag.String("bench", "gsmdec", "benchmark name, or 'all'")
+		heuristic = flag.String("heuristic", "IPBC", "cluster heuristic: BASE, IBC or IPBC")
+		orgStr    = flag.String("org", "interleaved", "cache organization: interleaved, multivliw or unified")
+		unrollStr = flag.String("unroll", "selective", "unrolling: none, xN, OUF or selective")
+		ab        = flag.Bool("ab", false, "enable 16-entry Attraction Buffers")
+		abHints   = flag.Bool("ab-hints", false, "enable compiler attractable hints (§5.2)")
+		noChains  = flag.Bool("no-chains", false, "disable memory dependent chains")
+		noAlign   = flag.Bool("no-align", false, "disable variable alignment")
+	)
+	flag.Parse()
+
+	v, err := buildVariant(*orgStr, *heuristic, *unrollStr, *ab, *abHints, *noChains, !*noAlign)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var specs []workload.BenchSpec
+	if *benchName == "all" {
+		specs = workload.Suite()
+	} else {
+		spec, ok := workload.ByName(*benchName)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", *benchName)
+		}
+		specs = []workload.BenchSpec{spec}
+	}
+
+	for _, spec := range specs {
+		b, err := experiments.RunBench(spec, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printBench(spec, v, b)
+	}
+}
+
+func buildVariant(org, heuristic, unrollStr string, ab, abHints, noChains, aligned bool) (experiments.Variant, error) {
+	var h sched.Heuristic
+	switch strings.ToUpper(heuristic) {
+	case "BASE":
+		h = sched.Base
+	case "IBC":
+		h = sched.IBC
+	case "IPBC":
+		h = sched.IPBC
+	default:
+		return experiments.Variant{}, fmt.Errorf("unknown heuristic %q", heuristic)
+	}
+	var um core.UnrollMode
+	switch strings.ToLower(unrollStr) {
+	case "none", "no", "1":
+		um = core.NoUnroll
+	case "xn", "n":
+		um = core.UnrollxN
+	case "ouf":
+		um = core.OUFUnroll
+	case "selective":
+		um = core.Selective
+	default:
+		return experiments.Variant{}, fmt.Errorf("unknown unroll mode %q", unrollStr)
+	}
+	var cfg arch.Config
+	switch strings.ToLower(org) {
+	case "interleaved":
+		cfg = arch.Default()
+	case "multivliw":
+		cfg = arch.MultiVLIWConfig()
+	case "unified":
+		cfg = arch.UnifiedConfig(5)
+	default:
+		return experiments.Variant{}, fmt.Errorf("unknown organization %q", org)
+	}
+	cfg.AttractionBuffers = ab
+	cfg.ABHints = abHints
+	return experiments.Variant{
+		Label:   fmt.Sprintf("%s/%s", org, heuristic),
+		Cfg:     cfg,
+		Opt:     core.Options{Heuristic: h, Unroll: um, NoChains: noChains},
+		Aligned: aligned,
+	}, nil
+}
+
+func printBench(spec workload.BenchSpec, v experiments.Variant, b stats.Bench) {
+	fmt.Printf("%s  (%s, %v, AB=%v, align=%v)\n", spec.Name, v.Cfg.Org, v.Opt.Heuristic,
+		v.Cfg.AttractionBuffers, v.Aligned)
+	for i := range b.Loops {
+		l := &b.Loops[i]
+		fmt.Printf("  %-22s II=%-3d SC=%-2d copies=%-3d balance=%.2f  compute=%-9d stall=%-8d\n",
+			l.Name, l.II, l.SC, l.Copies, l.Balance, l.ComputeCycles, l.StallCycles)
+	}
+	shares := b.AccessShares()
+	fmt.Printf("  accesses: ")
+	for c := stats.Class(0); c < stats.NumClasses; c++ {
+		fmt.Printf("%s %.1f%%  ", c, 100*shares[c])
+	}
+	fmt.Println()
+	sbc := b.StallByClass()
+	fmt.Printf("  stall by class: LH=%d RH=%d LM=%d RM=%d CB=%d\n",
+		sbc[stats.LHit], sbc[stats.RHit], sbc[stats.LMiss], sbc[stats.RMiss], sbc[stats.Combined])
+	fmt.Printf("  total: %d cycles (%.1f%% stall)   local hit ratio %.1f%%   balance %.2f\n\n",
+		b.TotalCycles(), 100*float64(b.StallCycles())/float64(maxI(b.TotalCycles(), 1)),
+		100*b.LocalHitRatio(), b.WeightedBalance())
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,44 @@
+// Interleave-sweep explores the paper's §5.1 future-work suggestion: the
+// 4-byte interleaving factor matches the word-dominated benchmarks, but "if
+// a processor is to be built for the gsm family of applications, a 2-byte
+// interleaving factor would match better the applications'
+// characteristics". The example sweeps the interleaving factor over the
+// short-integer codecs (gsm, g721) and the word-based codecs (jpegenc,
+// pgpdec) and reports total cycles per factor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ivliw/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	benches := []string{"gsmdec", "gsmenc", "g721dec", "jpegenc", "pgpdec"}
+	factors := []int{2, 4, 8}
+	rows, err := experiments.InterleaveSweep(benches, factors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s", "benchmark")
+	for _, f := range factors {
+		fmt.Printf(" %12s", fmt.Sprintf("IF=%d bytes", f))
+	}
+	fmt.Printf(" %8s\n", "best")
+	for _, r := range rows {
+		fmt.Printf("%-10s", r.Bench)
+		for _, f := range factors {
+			fmt.Printf(" %12d", r.Cycles[f])
+		}
+		fmt.Printf(" %8d\n", r.Best)
+	}
+	fmt.Println()
+	fmt.Println("Cycle counts are total (compute + stall) under IPBC with Attraction")
+	fmt.Println("Buffers and selective unrolling; lower is better. On this synthetic")
+	fmt.Println("suite the short-integer codecs are nearly insensitive (their strided")
+	fmt.Println("loops unroll to a cluster-stationary pattern at any factor), while the")
+	fmt.Println("word- and table-based codecs clearly prefer coarser interleaving —")
+	fmt.Println("the application-dependence the paper's future-work note anticipates.")
+}

@@ -1,0 +1,134 @@
+package ivliw_test
+
+import (
+	"testing"
+
+	"ivliw"
+	"ivliw/internal/addrspace"
+	"ivliw/internal/arch"
+	"ivliw/internal/cache"
+	"ivliw/internal/core"
+	"ivliw/internal/paperex"
+	"ivliw/internal/sched"
+	"ivliw/internal/sim"
+	"ivliw/internal/stats"
+)
+
+// TestPaperExampleEndToEnd runs the §4.3.3 Figure 3 loop through the whole
+// stack — profiling, latency assignment, ordering, IPBC scheduling and
+// cycle-level simulation — and checks the documented outcomes at each
+// stage.
+func TestPaperExampleEndToEnd(t *testing.T) {
+	loop, n := paperex.Loop()
+	cfg := arch.Default()
+	ds := addrspace.Dataset{Seed: 1, Aligned: true}
+	lay := addrspace.NewLayout([]*ivliw.Loop{loop}, cfg, ds)
+
+	c, err := core.Compile(loop, cfg, lay, ds, core.Options{
+		Heuristic: sched.IPBC,
+		Unroll:    core.NoUnroll,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency assignment drove both recurrences to the target MII; the
+	// scheduler hit it.
+	if c.Latency.TargetMII > c.Schedule.II {
+		t.Errorf("II %d below target MII %d", c.Schedule.II, c.Latency.TargetMII)
+	}
+	// The chain n1, n2, n4 shares a cluster.
+	cl := c.Schedule.Place[n.N1].Cluster
+	for _, id := range []int{n.N2, n.N4} {
+		if c.Schedule.Place[id].Cluster != cl {
+			t.Errorf("chain member %d in cluster %d, want %d", id, c.Schedule.Place[id].Cluster, cl)
+		}
+	}
+	res := sim.RunLoop(c.Schedule, lay, ds, cfg, cache.New(cfg), 512, c.Meta())
+	if res.TotalAccesses() != 4*512 {
+		t.Errorf("accesses = %d, want %d", res.TotalAccesses(), 4*512)
+	}
+	if res.TotalCycles() <= 0 {
+		t.Error("no cycles")
+	}
+}
+
+// TestConsistencyAcrossOrganizations compiles and simulates the same
+// program on every organization, checking cross-cutting invariants: the
+// unified machine never produces remote accesses, the interleaved machine's
+// access classes cover every access, and cycle counts are positive and
+// deterministic.
+func TestConsistencyAcrossOrganizations(t *testing.T) {
+	build := func() *ivliw.Loop {
+		b := ivliw.NewLoop("k", 200, 1)
+		ld := b.Load("ld", ivliw.MemInfo{Sym: "a", Kind: ivliw.Heap, Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 2048})
+		op := b.Op("op", ivliw.OpIntALU)
+		st := b.Store("st", ivliw.MemInfo{Sym: "b", Kind: ivliw.Heap, Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 2048})
+		b.Flow(ld, op).Flow(op, st)
+		return b.MustBuild()
+	}
+	orgs := []struct {
+		name string
+		cfg  ivliw.Config
+		h    ivliw.Heuristic
+	}{
+		{"interleaved", ivliw.DefaultConfig(), ivliw.IPBC},
+		{"multiVLIW", ivliw.MultiVLIWConfig(), ivliw.IBC},
+		{"unified1", ivliw.UnifiedConfig(1), ivliw.BASE},
+		{"unified5", ivliw.UnifiedConfig(5), ivliw.BASE},
+	}
+	for _, org := range orgs {
+		t.Run(org.name, func(t *testing.T) {
+			run := func() ivliw.LoopStats {
+				loop := build()
+				prog := ivliw.NewProgram(org.cfg, []*ivliw.Loop{loop})
+				c, err := prog.Compile(loop, ivliw.CompileOptions{Heuristic: org.h, Unroll: ivliw.Selective})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return prog.Run(c)
+			}
+			a, b := run(), run()
+			if a.TotalCycles() != b.TotalCycles() || a.Accesses != b.Accesses {
+				t.Error("simulation is not deterministic")
+			}
+			if a.TotalCycles() <= 0 || a.TotalAccesses() == 0 {
+				t.Error("degenerate result")
+			}
+			if org.cfg.Org == arch.Unified {
+				if a.Accesses[stats.RHit] != 0 || a.Accesses[stats.RMiss] != 0 {
+					t.Errorf("unified produced remote accesses: %v", a.Accesses)
+				}
+			}
+		})
+	}
+}
+
+// TestLatencyLaddersAcrossOrganizations: the interleaved machine schedules
+// non-recurrence loads with the remote-miss latency (15), the unified one
+// with its miss latency (11 or 15).
+func TestLatencyLaddersAcrossOrganizations(t *testing.T) {
+	b := ivliw.NewLoop("k", 100, 1)
+	ld := b.Load("ld", ivliw.MemInfo{Sym: "a", Kind: ivliw.Heap, Stride: 16, StrideKnown: true, Gran: 4, SymBytes: 1024})
+	op := b.Op("op", ivliw.OpIntALU)
+	b.Flow(ld, op)
+	loop := b.MustBuild()
+
+	cases := []struct {
+		cfg  ivliw.Config
+		want int
+	}{
+		{ivliw.DefaultConfig(), 15},
+		{ivliw.UnifiedConfig(1), 11},
+		{ivliw.UnifiedConfig(5), 15},
+	}
+	for _, c := range cases {
+		prog := ivliw.NewProgram(c.cfg, []*ivliw.Loop{loop})
+		compiled, err := prog.Compile(loop, ivliw.CompileOptions{Heuristic: ivliw.IPBC, Unroll: ivliw.NoUnroll})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := compiled.Schedule.Assigned[ld]; got != c.want {
+			t.Errorf("%v: load latency %d, want %d", c.cfg.Org, got, c.want)
+		}
+	}
+}

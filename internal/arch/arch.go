@@ -1,0 +1,277 @@
+// Package arch defines the machine model for the clustered VLIW processor
+// studied in Gibert et al., MICRO-35 2002: the number of clusters, the
+// per-cluster functional units, the memory hierarchy organization
+// (word-interleaved, multiVLIW cache-coherent, or unified), the bus
+// parameters, and the four memory latency classes (local/remote × hit/miss)
+// that drive both the latency-assignment pass and the simulator.
+package arch
+
+import "fmt"
+
+// CacheOrg selects the data-cache organization of the processor.
+type CacheOrg int
+
+const (
+	// Interleaved is the word-interleaved distributed data cache: each
+	// cache block is spread across the clusters' cache modules with a fixed
+	// word-to-cluster mapping and no data replication (tags replicated).
+	Interleaved CacheOrg = iota
+	// MultiVLIW is the cache-coherent clustered organization of Sánchez &
+	// González (MICRO-33): per-cluster caches that may replicate any block,
+	// kept coherent by a snoopy write-invalidate protocol.
+	MultiVLIW
+	// Unified is a single centralized data cache shared by all clusters.
+	Unified
+)
+
+// String returns the organization name used in reports.
+func (o CacheOrg) String() string {
+	switch o {
+	case Interleaved:
+		return "interleaved"
+	case MultiVLIW:
+		return "multiVLIW"
+	case Unified:
+		return "unified"
+	}
+	return fmt.Sprintf("CacheOrg(%d)", int(o))
+}
+
+// FUKind identifies a functional-unit type inside a cluster.
+type FUKind int
+
+const (
+	FUInt FUKind = iota // integer ALU
+	FUFP                // floating-point unit
+	FUMem               // memory (load/store) unit
+	NumFUKinds
+)
+
+// String returns the unit name.
+func (k FUKind) String() string {
+	switch k {
+	case FUInt:
+		return "int"
+	case FUFP:
+		return "fp"
+	case FUMem:
+		return "mem"
+	}
+	return fmt.Sprintf("FUKind(%d)", int(k))
+}
+
+// LatencyClass is one of the four access classes of the interleaved cache.
+type LatencyClass int
+
+const (
+	LocalHit LatencyClass = iota
+	RemoteHit
+	LocalMiss
+	RemoteMiss
+	NumLatencyClasses
+)
+
+// String returns the class name used in figures.
+func (c LatencyClass) String() string {
+	switch c {
+	case LocalHit:
+		return "local hit"
+	case RemoteHit:
+		return "remote hit"
+	case LocalMiss:
+		return "local miss"
+	case RemoteMiss:
+		return "remote miss"
+	}
+	return fmt.Sprintf("LatencyClass(%d)", int(c))
+}
+
+// Config collects every architecture parameter of Table 2 plus the derived
+// latency classes. The zero value is not usable; start from Default.
+type Config struct {
+	// Clusters is the number of clusters (N). Table 2: 4.
+	Clusters int
+	// FUsPerCluster gives the number of units of each kind per cluster.
+	// Table 2: 1 FP, 1 integer, 1 memory unit per cluster.
+	FUsPerCluster [NumFUKinds]int
+
+	// Interleave is the interleaving factor I in bytes (word size mapped
+	// per cluster). Table 2: 4 bytes.
+	Interleave int
+	// BlockBytes is the cache block size. Table 2: 32 bytes.
+	BlockBytes int
+	// CacheBytes is the *total* L1 capacity. Table 2: 8 KB (four 2 KB
+	// modules for interleaved/multiVLIW).
+	CacheBytes int
+	// Assoc is the set associativity of each cache (module). Table 2: 2.
+	Assoc int
+
+	// Org selects the cache organization.
+	Org CacheOrg
+	// UnifiedLatency is the total access latency of the unified cache
+	// (1 for the optimistic configuration, 5 for the realistic one).
+	UnifiedLatency int
+	// UnifiedPorts is the number of read/write ports of the unified cache.
+	UnifiedPorts int
+
+	// RegBuses is the number of register-to-register communication buses.
+	RegBuses int
+	// MemBuses is the number of memory buses between cache modules and the
+	// next memory level.
+	MemBuses int
+	// BusCycleRatio is the core-cycles-per-bus-cycle ratio; the buses run
+	// at 1/2 of the core frequency, so a bus transfer occupies the bus for
+	// BusCycleRatio core cycles. Table 2: 2.
+	BusCycleRatio int
+
+	// NextLevelLatency is the total latency of a next-memory-level access.
+	// Table 2: 10 cycles, always hit.
+	NextLevelLatency int
+	// NextLevelPorts is the number of next-level ports. Table 2: 4.
+	NextLevelPorts int
+
+	// AttractionBuffers enables the per-cluster Attraction Buffers.
+	AttractionBuffers bool
+	// ABEntries is the number of subblock entries of each Attraction
+	// Buffer (16 in the main evaluation, 8 in the hints study).
+	ABEntries int
+	// ABAssoc is the Attraction Buffer associativity (2-way).
+	ABAssoc int
+	// ABHints enables the compiler "attractable" hints of §5.2: only the K
+	// most beneficial memory instructions of a loop attract subblocks,
+	// with K chosen so the buffer capacity is not overflowed.
+	ABHints bool
+}
+
+// Default returns the Table 2 configuration: a 4-cluster word-interleaved
+// processor with 16-entry Attraction Buffers disabled (enable explicitly).
+func Default() Config {
+	return Config{
+		Clusters:          4,
+		FUsPerCluster:     [NumFUKinds]int{FUInt: 1, FUFP: 1, FUMem: 1},
+		Interleave:        4,
+		BlockBytes:        32,
+		CacheBytes:        8 * 1024,
+		Assoc:             2,
+		Org:               Interleaved,
+		UnifiedLatency:    1,
+		UnifiedPorts:      5,
+		RegBuses:          4,
+		MemBuses:          4,
+		BusCycleRatio:     2,
+		NextLevelLatency:  10,
+		NextLevelPorts:    4,
+		AttractionBuffers: false,
+		ABEntries:         16,
+		ABAssoc:           2,
+	}
+}
+
+// UnifiedConfig returns the unified-cache baseline with the given total
+// access latency (1 = optimistic, 5 = realistic).
+func UnifiedConfig(latency int) Config {
+	c := Default()
+	c.Org = Unified
+	c.UnifiedLatency = latency
+	return c
+}
+
+// MultiVLIWConfig returns the cache-coherent clustered configuration.
+func MultiVLIWConfig() Config {
+	c := Default()
+	c.Org = MultiVLIW
+	return c
+}
+
+// Validate reports a descriptive error if the configuration is inconsistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Clusters <= 0:
+		return fmt.Errorf("arch: Clusters must be positive, got %d", c.Clusters)
+	case c.Interleave <= 0:
+		return fmt.Errorf("arch: Interleave must be positive, got %d", c.Interleave)
+	case c.BlockBytes <= 0 || c.BlockBytes%(c.Clusters*c.Interleave) != 0:
+		return fmt.Errorf("arch: BlockBytes (%d) must be a positive multiple of Clusters*Interleave (%d)",
+			c.BlockBytes, c.Clusters*c.Interleave)
+	case c.CacheBytes <= 0 || c.CacheBytes%c.BlockBytes != 0:
+		return fmt.Errorf("arch: CacheBytes (%d) must be a positive multiple of BlockBytes (%d)",
+			c.CacheBytes, c.BlockBytes)
+	case c.Assoc <= 0:
+		return fmt.Errorf("arch: Assoc must be positive, got %d", c.Assoc)
+	case c.Org == Unified && c.UnifiedLatency <= 0:
+		return fmt.Errorf("arch: UnifiedLatency must be positive, got %d", c.UnifiedLatency)
+	case c.RegBuses <= 0 || c.MemBuses <= 0:
+		return fmt.Errorf("arch: bus counts must be positive (reg=%d mem=%d)", c.RegBuses, c.MemBuses)
+	case c.BusCycleRatio <= 0:
+		return fmt.Errorf("arch: BusCycleRatio must be positive, got %d", c.BusCycleRatio)
+	case c.NextLevelLatency <= 0:
+		return fmt.Errorf("arch: NextLevelLatency must be positive, got %d", c.NextLevelLatency)
+	case c.AttractionBuffers && (c.ABEntries <= 0 || c.ABAssoc <= 0 || c.ABEntries%c.ABAssoc != 0):
+		return fmt.Errorf("arch: Attraction Buffer geometry invalid (entries=%d assoc=%d)", c.ABEntries, c.ABAssoc)
+	}
+	return nil
+}
+
+// SubblockBytes returns the number of bytes of a cache block mapped to one
+// cluster (block size / clusters). With 32-byte blocks and 4 clusters each
+// subblock holds 8 bytes (two 4-byte words, e.g. W3 and W7 of Figure 1).
+func (c Config) SubblockBytes() int { return c.BlockBytes / c.Clusters }
+
+// ModuleBytes returns the capacity of one cluster's cache module.
+func (c Config) ModuleBytes() int { return c.CacheBytes / c.Clusters }
+
+// HomeCluster returns the cluster that owns the word containing addr under
+// the fixed word-interleaved mapping: cluster = (addr / I) mod N.
+func (c Config) HomeCluster(addr int64) int {
+	w := addr / int64(c.Interleave)
+	m := int(w % int64(c.Clusters))
+	if m < 0 {
+		m += c.Clusters
+	}
+	return m
+}
+
+// Latency returns the latency in core cycles of the given access class.
+// The values are derived from Table 2 and match the §4.3.3 worked example:
+// local hit 1, remote hit 5 (request bus + module access + reply bus),
+// local miss 10 (next level total latency), remote miss 15 (remote access
+// plus next-level access).
+func (c Config) Latency(class LatencyClass) int {
+	bus := c.BusCycleRatio
+	switch class {
+	case LocalHit:
+		return 1
+	case RemoteHit:
+		return 2*bus + 1
+	case LocalMiss:
+		return c.NextLevelLatency
+	case RemoteMiss:
+		return 2*bus + 1 + c.NextLevelLatency
+	}
+	panic(fmt.Sprintf("arch: unknown latency class %d", int(class)))
+}
+
+// MemLatencies returns all four latencies indexed by LatencyClass, ordered
+// from smallest to largest: the candidate set explored by the
+// latency-assignment pass.
+func (c Config) MemLatencies() [NumLatencyClasses]int {
+	return [NumLatencyClasses]int{
+		LocalHit:   c.Latency(LocalHit),
+		RemoteHit:  c.Latency(RemoteHit),
+		LocalMiss:  c.Latency(LocalMiss),
+		RemoteMiss: c.Latency(RemoteMiss),
+	}
+}
+
+// UnifiedHitLatency and UnifiedMissLatency are the two latency classes used
+// by the BASE algorithm on a unified-cache machine (no remote memories).
+func (c Config) UnifiedHitLatency() int  { return c.UnifiedLatency }
+func (c Config) UnifiedMissLatency() int { return c.UnifiedLatency + c.NextLevelLatency }
+
+// CommLatency returns the core-cycle latency of one register-to-register
+// inter-cluster transfer (one bus transaction at half frequency).
+func (c Config) CommLatency() int { return c.BusCycleRatio }
+
+// NI returns N×I, the alignment/stride modulus that makes a memory access
+// reference the same cluster on every iteration.
+func (c Config) NI() int { return c.Clusters * c.Interleave }

@@ -1,0 +1,152 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	for _, cfg := range []Config{Default(), UnifiedConfig(1), UnifiedConfig(5), MultiVLIWConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("config %v: %v", cfg.Org, err)
+		}
+	}
+}
+
+func TestDefaultMatchesTable2(t *testing.T) {
+	c := Default()
+	if c.Clusters != 4 {
+		t.Errorf("Clusters = %d, want 4", c.Clusters)
+	}
+	if c.FUsPerCluster[FUInt] != 1 || c.FUsPerCluster[FUFP] != 1 || c.FUsPerCluster[FUMem] != 1 {
+		t.Errorf("FUsPerCluster = %v, want 1 of each", c.FUsPerCluster)
+	}
+	if c.CacheBytes != 8*1024 || c.BlockBytes != 32 || c.Assoc != 2 {
+		t.Errorf("cache geometry = %d/%d/%d, want 8192/32/2", c.CacheBytes, c.BlockBytes, c.Assoc)
+	}
+	if c.ModuleBytes() != 2*1024 {
+		t.Errorf("ModuleBytes = %d, want 2048", c.ModuleBytes())
+	}
+	if c.SubblockBytes() != 8 {
+		t.Errorf("SubblockBytes = %d, want 8", c.SubblockBytes())
+	}
+	if c.Interleave != 4 {
+		t.Errorf("Interleave = %d, want 4", c.Interleave)
+	}
+	if c.RegBuses != 4 || c.MemBuses != 4 || c.BusCycleRatio != 2 {
+		t.Errorf("buses = %d/%d ratio %d, want 4/4 ratio 2", c.RegBuses, c.MemBuses, c.BusCycleRatio)
+	}
+	if c.NextLevelLatency != 10 || c.NextLevelPorts != 4 {
+		t.Errorf("next level = %d cycles %d ports, want 10/4", c.NextLevelLatency, c.NextLevelPorts)
+	}
+	if c.NI() != 16 {
+		t.Errorf("NI = %d, want 16", c.NI())
+	}
+}
+
+// TestLatenciesMatchPaperExample checks the four latency classes against the
+// §4.3.3 worked example: 15, 10, 5 and 1 cycles for remote miss, local miss,
+// remote hit and local hit.
+func TestLatenciesMatchPaperExample(t *testing.T) {
+	c := Default()
+	want := map[LatencyClass]int{LocalHit: 1, RemoteHit: 5, LocalMiss: 10, RemoteMiss: 15}
+	for class, w := range want {
+		if got := c.Latency(class); got != w {
+			t.Errorf("Latency(%v) = %d, want %d", class, got, w)
+		}
+	}
+	lats := c.MemLatencies()
+	if lats[LocalHit] >= lats[RemoteHit] || lats[RemoteHit] >= lats[LocalMiss] || lats[LocalMiss] >= lats[RemoteMiss] {
+		t.Errorf("latencies not strictly increasing: %v", lats)
+	}
+}
+
+func TestUnifiedLatencies(t *testing.T) {
+	c := UnifiedConfig(5)
+	if c.UnifiedHitLatency() != 5 {
+		t.Errorf("UnifiedHitLatency = %d, want 5", c.UnifiedHitLatency())
+	}
+	if c.UnifiedMissLatency() != 15 {
+		t.Errorf("UnifiedMissLatency = %d, want 15", c.UnifiedMissLatency())
+	}
+}
+
+// TestHomeClusterMapping checks the Figure 1 word mapping: with a 4-byte
+// interleaving factor words 0..7 of an aligned block map to clusters
+// 0,1,2,3,0,1,2,3 (paper's clusters 1..4).
+func TestHomeClusterMapping(t *testing.T) {
+	c := Default()
+	for w := 0; w < 8; w++ {
+		addr := int64(w * 4)
+		if got, want := c.HomeCluster(addr), w%4; got != want {
+			t.Errorf("HomeCluster(%d) = %d, want %d", addr, got, want)
+		}
+	}
+	// All bytes of one word map to the same cluster.
+	for b := int64(0); b < 4; b++ {
+		if got := c.HomeCluster(12 + b); got != 3 {
+			t.Errorf("HomeCluster(%d) = %d, want 3", 12+b, got)
+		}
+	}
+}
+
+// TestHomeClusterProperty: the home cluster is periodic with period N*I and
+// always within range.
+func TestHomeClusterProperty(t *testing.T) {
+	c := Default()
+	f := func(addr uint32) bool {
+		a := int64(addr)
+		h := c.HomeCluster(a)
+		if h < 0 || h >= c.Clusters {
+			return false
+		}
+		return c.HomeCluster(a+int64(c.NI())) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Clusters = 0 },
+		func(c *Config) { c.Interleave = -4 },
+		func(c *Config) { c.BlockBytes = 24 }, // not a multiple of N*I=16
+		func(c *Config) { c.CacheBytes = 100 },
+		func(c *Config) { c.Assoc = 0 },
+		func(c *Config) { c.RegBuses = 0 },
+		func(c *Config) { c.BusCycleRatio = 0 },
+		func(c *Config) { c.NextLevelLatency = 0 },
+		func(c *Config) { c.AttractionBuffers = true; c.ABEntries = 0 },
+		func(c *Config) { c.AttractionBuffers = true; c.ABEntries = 15; c.ABAssoc = 2 },
+	}
+	for i, mutate := range bad {
+		c := Default()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config", i)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Interleaved.String() != "interleaved" || MultiVLIW.String() != "multiVLIW" || Unified.String() != "unified" {
+		t.Error("CacheOrg string names changed")
+	}
+	if FUInt.String() != "int" || FUFP.String() != "fp" || FUMem.String() != "mem" {
+		t.Error("FUKind string names changed")
+	}
+	if LocalHit.String() != "local hit" || RemoteMiss.String() != "remote miss" {
+		t.Error("LatencyClass string names changed")
+	}
+	if CacheOrg(99).String() == "" || FUKind(99).String() == "" || LatencyClass(99).String() == "" {
+		t.Error("out-of-range stringers must not be empty")
+	}
+}
+
+func TestCommLatency(t *testing.T) {
+	c := Default()
+	if c.CommLatency() != 2 {
+		t.Errorf("CommLatency = %d, want 2 (buses at 1/2 core frequency)", c.CommLatency())
+	}
+}

@@ -1,0 +1,327 @@
+// Package cache implements the functional memory-hierarchy models of the
+// three evaluated organizations: the word-interleaved distributed cache
+// (with optional per-cluster Attraction Buffers), the multiVLIW coherent
+// per-cluster caches with a snoopy write-invalidate protocol, and the
+// unified centralized cache. The models classify each access (local/remote ×
+// hit/miss) and mutate tag state; timing, combining and bus contention are
+// layered on top by the simulator.
+package cache
+
+import (
+	"fmt"
+
+	"ivliw/internal/arch"
+)
+
+// Store is a set-associative tag store with true LRU replacement.
+type Store struct {
+	sets   [][]int64 // per set: keys, index 0 = MRU
+	assoc  int
+	hashed bool
+}
+
+// NewStore builds a tag store with the given number of lines and
+// associativity, using modulo set indexing (like the L1 tag arrays).
+func NewStore(lines, assoc int) *Store {
+	if lines <= 0 || assoc <= 0 || lines%assoc != 0 {
+		panic(fmt.Sprintf("cache: bad geometry lines=%d assoc=%d", lines, assoc))
+	}
+	s := &Store{sets: make([][]int64, lines/assoc), assoc: assoc}
+	for i := range s.sets {
+		s.sets[i] = make([]int64, 0, assoc)
+	}
+	return s
+}
+
+// NewHashedStore builds a tag store whose set index hashes the whole key.
+// The Attraction Buffers use it because their keys combine a block number
+// with a home-cluster id: with modulo indexing the (up to three) remote
+// subblocks of one block would all collide in a single set.
+func NewHashedStore(lines, assoc int) *Store {
+	s := NewStore(lines, assoc)
+	s.hashed = true
+	return s
+}
+
+func (s *Store) set(key int64) int {
+	h := uint64(key)
+	if s.hashed {
+		// splitmix64 finalizer: the xor-shifts fold the high bits
+		// (where the home-cluster id lives) into the low bits before
+		// each multiply, so every key bit reaches the set index.
+		h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+		h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return int(h % uint64(len(s.sets)))
+}
+
+// Lookup reports whether the key is present, promoting it to MRU on hit.
+func (s *Store) Lookup(key int64) bool {
+	set := s.sets[s.set(key)]
+	for i, k := range set {
+		if k == key {
+			copy(set[1:i+1], set[:i])
+			set[0] = key
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts the key as MRU, evicting the LRU entry if the set is full.
+// Filling an already-present key just promotes it.
+func (s *Store) Fill(key int64) {
+	if s.Lookup(key) {
+		return
+	}
+	si := s.set(key)
+	set := s.sets[si]
+	if len(set) < s.assoc {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = key
+	s.sets[si] = set
+}
+
+// Invalidate removes the key if present and reports whether it was.
+func (s *Store) Invalidate(key int64) bool {
+	si := s.set(key)
+	set := s.sets[si]
+	for i, k := range set {
+		if k == key {
+			s.sets[si] = append(set[:i], set[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Flush empties the store.
+func (s *Store) Flush() {
+	for i := range s.sets {
+		s.sets[i] = s.sets[i][:0]
+	}
+}
+
+// Len returns the number of resident keys.
+func (s *Store) Len() int {
+	n := 0
+	for _, set := range s.sets {
+		n += len(set)
+	}
+	return n
+}
+
+// Result is the outcome of one cache access.
+type Result struct {
+	// Class is the latency class of the access.
+	Class arch.LatencyClass
+	// ABHit marks interleaved accesses satisfied by the local Attraction
+	// Buffer (they are counted as local hits).
+	ABHit bool
+	// Home is the cluster owning the referenced word (interleaved) or
+	// the supplying cluster (multiVLIW remote hits); -1 when meaningless.
+	Home int
+}
+
+// Hierarchy is the organization-independent interface the simulator and the
+// profiler drive. Access classifies and applies one access issued by
+// `cluster` (ignored by the unified cache) to the given address; `store`
+// marks writes; `attract` enables Attraction Buffer allocation for this
+// access (the compiler's "attractable" hint — meaningful only for the
+// interleaved organization with buffers enabled).
+type Hierarchy interface {
+	Access(cluster int, addr int64, store, attract bool) Result
+	// FlushBuffers empties the Attraction Buffers (between loops); it is
+	// a no-op for organizations without buffers.
+	FlushBuffers()
+}
+
+// New builds the hierarchy selected by the configuration.
+func New(cfg arch.Config) Hierarchy {
+	switch cfg.Org {
+	case arch.Interleaved:
+		return NewInterleaved(cfg)
+	case arch.MultiVLIW:
+		return NewMultiVLIW(cfg)
+	case arch.Unified:
+		return NewUnified(cfg)
+	}
+	panic("cache: unknown organization")
+}
+
+// Interleaved is the word-interleaved distributed cache of §3. A block's
+// subblocks live in fixed cache modules; tags are replicated, so hit/miss
+// state is uniform across modules and is tracked by a single tag store with
+// the total capacity. Optional Attraction Buffers hold replicated remote
+// subblocks per cluster.
+type Interleaved struct {
+	cfg    arch.Config
+	blocks *Store
+	abs    []*Store // per cluster; nil when disabled
+}
+
+// NewInterleaved builds the interleaved hierarchy.
+func NewInterleaved(cfg arch.Config) *Interleaved {
+	ic := &Interleaved{
+		cfg:    cfg,
+		blocks: NewStore(cfg.CacheBytes/cfg.BlockBytes, cfg.Assoc),
+	}
+	if cfg.AttractionBuffers {
+		ic.abs = make([]*Store, cfg.Clusters)
+		for i := range ic.abs {
+			ic.abs[i] = NewHashedStore(cfg.ABEntries, cfg.ABAssoc)
+		}
+	}
+	return ic
+}
+
+func (ic *Interleaved) block(addr int64) int64 { return addr / int64(ic.cfg.BlockBytes) }
+
+// subblockKey identifies one (block, home cluster) subblock. The home
+// cluster lives in the high bits so that consecutive blocks index
+// consecutive Attraction Buffer sets.
+func (ic *Interleaved) subblockKey(addr int64, home int) int64 {
+	return ic.block(addr) | int64(home)<<40
+}
+
+// Access classifies and applies one access.
+func (ic *Interleaved) Access(cluster int, addr int64, store, attract bool) Result {
+	home := ic.cfg.HomeCluster(addr)
+	local := home == cluster
+
+	// The Attraction Buffer is checked in parallel with the local module;
+	// a hit there is satisfied with the local hit latency.
+	if !local && ic.abs != nil {
+		key := ic.subblockKey(addr, home)
+		if store {
+			// A store to a remote word updates the owner module;
+			// keep any local replica coherent by updating it in
+			// place (chains guarantee no other cluster reads it).
+			ic.abs[cluster].Lookup(key)
+		} else if ic.abs[cluster].Lookup(key) {
+			return Result{Class: arch.LocalHit, ABHit: true, Home: home}
+		}
+	}
+
+	hit := ic.blocks.Lookup(ic.block(addr))
+	if !hit {
+		ic.blocks.Fill(ic.block(addr))
+	}
+	if !local && !store && ic.abs != nil && attract {
+		// The whole subblock is attracted to the issuing cluster.
+		ic.abs[cluster].Fill(ic.subblockKey(addr, home))
+	}
+	switch {
+	case local && hit:
+		return Result{Class: arch.LocalHit, Home: home}
+	case !local && hit:
+		return Result{Class: arch.RemoteHit, Home: home}
+	case local:
+		return Result{Class: arch.LocalMiss, Home: home}
+	default:
+		return Result{Class: arch.RemoteMiss, Home: home}
+	}
+}
+
+// FlushBuffers empties the Attraction Buffers (coherence between loops).
+func (ic *Interleaved) FlushBuffers() {
+	for _, ab := range ic.abs {
+		if ab != nil {
+			ab.Flush()
+		}
+	}
+}
+
+// ABLen returns the number of subblocks resident in one cluster's
+// Attraction Buffer (testing hook).
+func (ic *Interleaved) ABLen(cluster int) int {
+	if ic.abs == nil {
+		return 0
+	}
+	return ic.abs[cluster].Len()
+}
+
+// MultiVLIWCache models the cache-coherent clustered organization: each
+// cluster has a private cache that may replicate any block; a snoopy
+// write-invalidate protocol keeps copies coherent. A miss satisfied by
+// another cluster's cache is a remote hit (cache-to-cache transfer).
+type MultiVLIWCache struct {
+	cfg  arch.Config
+	mods []*Store
+}
+
+// NewMultiVLIW builds the coherent hierarchy.
+func NewMultiVLIW(cfg arch.Config) *MultiVLIWCache {
+	mc := &MultiVLIWCache{cfg: cfg, mods: make([]*Store, cfg.Clusters)}
+	lines := cfg.ModuleBytes() / cfg.BlockBytes
+	for i := range mc.mods {
+		mc.mods[i] = NewStore(lines, cfg.Assoc)
+	}
+	return mc
+}
+
+// Access classifies and applies one access.
+func (mc *MultiVLIWCache) Access(cluster int, addr int64, store, attract bool) Result {
+	blk := addr / int64(mc.cfg.BlockBytes)
+	if store {
+		// Write-invalidate: kill every other copy, write locally
+		// (write-allocate).
+		for c, m := range mc.mods {
+			if c != cluster {
+				m.Invalidate(blk)
+			}
+		}
+		if mc.mods[cluster].Lookup(blk) {
+			return Result{Class: arch.LocalHit, Home: cluster}
+		}
+		mc.mods[cluster].Fill(blk)
+		return Result{Class: arch.LocalMiss, Home: cluster}
+	}
+	if mc.mods[cluster].Lookup(blk) {
+		return Result{Class: arch.LocalHit, Home: cluster}
+	}
+	// Snoop the other clusters; the block is replicated locally on a
+	// cache-to-cache transfer (this is the multiVLIW's advantage — data
+	// migrates toward its users — and its capacity cost).
+	for c, m := range mc.mods {
+		if c != cluster && m.Lookup(blk) {
+			mc.mods[cluster].Fill(blk)
+			return Result{Class: arch.RemoteHit, Home: c}
+		}
+	}
+	mc.mods[cluster].Fill(blk)
+	return Result{Class: arch.LocalMiss, Home: cluster}
+}
+
+// FlushBuffers is a no-op (no Attraction Buffers in the multiVLIW).
+func (mc *MultiVLIWCache) FlushBuffers() {}
+
+// UnifiedCache is the centralized data cache baseline. Every access pays the
+// configured total latency; there is no local/remote distinction.
+type UnifiedCache struct {
+	cfg    arch.Config
+	blocks *Store
+}
+
+// NewUnified builds the unified hierarchy.
+func NewUnified(cfg arch.Config) *UnifiedCache {
+	return &UnifiedCache{cfg: cfg, blocks: NewStore(cfg.CacheBytes/cfg.BlockBytes, cfg.Assoc)}
+}
+
+// Access classifies and applies one access. Hits are reported as local hits
+// and misses as local misses; the simulator maps them to the unified hit and
+// miss latencies.
+func (uc *UnifiedCache) Access(cluster int, addr int64, store, attract bool) Result {
+	blk := addr / int64(uc.cfg.BlockBytes)
+	if uc.blocks.Lookup(blk) {
+		return Result{Class: arch.LocalHit, Home: -1}
+	}
+	uc.blocks.Fill(blk)
+	return Result{Class: arch.LocalMiss, Home: -1}
+}
+
+// FlushBuffers is a no-op.
+func (uc *UnifiedCache) FlushBuffers() {}

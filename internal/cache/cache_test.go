@@ -1,0 +1,289 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ivliw/internal/arch"
+)
+
+func TestStoreLRU(t *testing.T) {
+	s := NewStore(4, 2) // 2 sets × 2 ways
+	// Keys 0, 2, 4 map to set 0 (even), 1, 3 to set 1.
+	s.Fill(0)
+	s.Fill(2)
+	if !s.Lookup(0) || !s.Lookup(2) {
+		t.Fatal("resident keys must hit")
+	}
+	s.Lookup(0) // 0 is MRU
+	s.Fill(4)   // evicts 2 (LRU)
+	if s.Lookup(2) {
+		t.Error("LRU key 2 should have been evicted")
+	}
+	if !s.Lookup(0) || !s.Lookup(4) {
+		t.Error("keys 0 and 4 must remain")
+	}
+}
+
+func TestStoreInvalidateFlushLen(t *testing.T) {
+	s := NewStore(8, 2)
+	for k := int64(0); k < 6; k++ {
+		s.Fill(k)
+	}
+	if s.Len() != 6 {
+		t.Errorf("Len = %d, want 6", s.Len())
+	}
+	if !s.Invalidate(3) || s.Lookup(3) {
+		t.Error("Invalidate(3) failed")
+	}
+	if s.Invalidate(3) {
+		t.Error("second Invalidate(3) must report absence")
+	}
+	s.Flush()
+	if s.Len() != 0 {
+		t.Errorf("Len after Flush = %d, want 0", s.Len())
+	}
+}
+
+func TestStoreFillIdempotent(t *testing.T) {
+	s := NewStore(4, 2)
+	s.Fill(0)
+	s.Fill(0)
+	if s.Len() != 1 {
+		t.Errorf("duplicate Fill created %d entries", s.Len())
+	}
+}
+
+func TestNewStorePanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewStore(3, 2) must panic")
+		}
+	}()
+	NewStore(3, 2)
+}
+
+// TestStoreNeverExceedsCapacity is a property test: after any access
+// sequence the store holds at most `lines` keys and at most `assoc` per set.
+func TestStoreNeverExceedsCapacity(t *testing.T) {
+	f := func(keys []int16) bool {
+		s := NewStore(8, 2)
+		for _, k := range keys {
+			s.Fill(int64(k))
+		}
+		if s.Len() > 8 {
+			return false
+		}
+		for _, set := range s.sets {
+			if len(set) > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func defaultInterleaved(ab bool) (*Interleaved, arch.Config) {
+	cfg := arch.Default()
+	cfg.AttractionBuffers = ab
+	return NewInterleaved(cfg), cfg
+}
+
+func TestInterleavedClassification(t *testing.T) {
+	ic, cfg := defaultInterleaved(false)
+	// Address 0 belongs to cluster 0. First touch from cluster 0: local
+	// miss; again: local hit; from cluster 1: remote hit.
+	if r := ic.Access(0, 0, false, false); r.Class != arch.LocalMiss {
+		t.Errorf("first access = %v, want local miss", r.Class)
+	}
+	if r := ic.Access(0, 0, false, false); r.Class != arch.LocalHit {
+		t.Errorf("second access = %v, want local hit", r.Class)
+	}
+	if r := ic.Access(1, 0, false, false); r.Class != arch.RemoteHit {
+		t.Errorf("cross-cluster access = %v, want remote hit", r.Class)
+	}
+	// Word 1 of the block (addr 4) belongs to cluster 1 and the block is
+	// resident: local hit from cluster 1, remote hit from cluster 3.
+	if r := ic.Access(1, 4, false, false); r.Class != arch.LocalHit {
+		t.Errorf("same-block word 1 from cluster 1 = %v, want local hit", r.Class)
+	}
+	if r := ic.Access(3, 4, false, false); r.Class != arch.RemoteHit {
+		t.Errorf("same-block word 1 from cluster 3 = %v, want remote hit", r.Class)
+	}
+	// A fresh block touched remotely: remote miss.
+	far := int64(1 << 20)
+	if r := ic.Access(cfg.HomeCluster(far)+1, far, false, false); r.Class != arch.RemoteMiss {
+		t.Error("fresh remote block must be a remote miss")
+	}
+}
+
+// TestAttractionBufferFigure1 reproduces the Figure 1 narrative: a load in
+// cluster 1 (0-based) referencing word 3 of a line attracts the subblock
+// {W3, W7}; the next access to either word from that cluster is local.
+func TestAttractionBufferFigure1(t *testing.T) {
+	ic, _ := defaultInterleaved(true)
+	w3, w7 := int64(3*4), int64(7*4) // same subblock, home cluster 3
+	ic.Access(3, w3, false, false)   // warm the block (home touch)
+	if r := ic.Access(1, w3, false, true); r.Class != arch.RemoteHit {
+		t.Fatalf("attracting access = %v, want remote hit", r.Class)
+	}
+	r := ic.Access(1, w3, false, true)
+	if r.Class != arch.LocalHit || !r.ABHit {
+		t.Errorf("second access = %+v, want Attraction Buffer local hit", r)
+	}
+	// The *whole subblock* was attracted: W7 hits too.
+	r = ic.Access(1, w7, false, true)
+	if r.Class != arch.LocalHit || !r.ABHit {
+		t.Errorf("sibling word access = %+v, want Attraction Buffer local hit", r)
+	}
+	// Another cluster did not attract anything.
+	if r := ic.Access(2, w3, false, false); r.Class != arch.RemoteHit {
+		t.Errorf("cluster 2 access = %v, want remote hit", r.Class)
+	}
+	if ic.ABLen(1) != 1 {
+		t.Errorf("AB of cluster 1 holds %d subblocks, want 1", ic.ABLen(1))
+	}
+}
+
+func TestAttractionBufferFlush(t *testing.T) {
+	ic, _ := defaultInterleaved(true)
+	w3 := int64(12)
+	ic.Access(3, w3, false, false)
+	ic.Access(1, w3, false, true)
+	if ic.ABLen(1) != 1 {
+		t.Fatal("expected one attracted subblock")
+	}
+	ic.FlushBuffers()
+	if ic.ABLen(1) != 0 {
+		t.Error("FlushBuffers must empty the Attraction Buffers")
+	}
+	if r := ic.Access(1, w3, false, true); r.Class != arch.RemoteHit {
+		t.Errorf("post-flush access = %v, want remote hit", r.Class)
+	}
+}
+
+// TestAttractionBufferHonorsHint: without the attract flag nothing is
+// allocated (the §5.2 attractable-hints mechanism).
+func TestAttractionBufferHonorsHint(t *testing.T) {
+	ic, _ := defaultInterleaved(true)
+	w3 := int64(12)
+	ic.Access(3, w3, false, false)
+	ic.Access(1, w3, false, false) // not attractable
+	if ic.ABLen(1) != 0 {
+		t.Error("non-attractable access must not allocate in the AB")
+	}
+	if r := ic.Access(1, w3, false, false); r.Class != arch.RemoteHit {
+		t.Errorf("access = %v, want remote hit (nothing attracted)", r.Class)
+	}
+}
+
+// TestAttractionBufferCapacity: a stream of 19 distinct remote subblocks
+// overflows a 16-entry buffer (the epicdec loop of §5.2).
+func TestAttractionBufferCapacity(t *testing.T) {
+	ic, cfg := defaultInterleaved(true)
+	// 19 subblocks homed in cluster 3, accessed from cluster 1.
+	var addrs []int64
+	for i := 0; i < 19; i++ {
+		addrs = append(addrs, int64(i*cfg.BlockBytes+12))
+	}
+	for _, a := range addrs {
+		ic.Access(3, a, false, false) // warm
+		ic.Access(1, a, false, true)  // attract
+	}
+	if got := ic.ABLen(1); got > cfg.ABEntries {
+		t.Errorf("AB holds %d > capacity %d", got, cfg.ABEntries)
+	}
+	// Re-walking the stream cannot hit for all 19 (some were evicted).
+	hits := 0
+	for _, a := range addrs {
+		if r := ic.Access(1, a, false, true); r.ABHit {
+			hits++
+		}
+	}
+	if hits >= 19 {
+		t.Errorf("all %d subblocks hit in a 16-entry buffer", hits)
+	}
+}
+
+func TestMultiVLIWReplicationAndCoherence(t *testing.T) {
+	cfg := arch.MultiVLIWConfig()
+	mc := NewMultiVLIW(cfg)
+	addr := int64(64)
+	if r := mc.Access(0, addr, false, false); r.Class != arch.LocalMiss {
+		t.Errorf("first access = %v, want local miss", r.Class)
+	}
+	if r := mc.Access(0, addr, false, false); r.Class != arch.LocalHit {
+		t.Errorf("re-access = %v, want local hit", r.Class)
+	}
+	// Cluster 1 pulls a copy: remote hit, then local hit (replication).
+	if r := mc.Access(1, addr, false, false); r.Class != arch.RemoteHit || r.Home != 0 {
+		t.Errorf("cluster 1 first = %+v, want remote hit from cluster 0", r)
+	}
+	if r := mc.Access(1, addr, false, false); r.Class != arch.LocalHit {
+		t.Errorf("cluster 1 second = %v, want local hit (replicated)", r.Class)
+	}
+	// A store from cluster 2 invalidates both copies.
+	mc.Access(2, addr, true, false)
+	if r := mc.Access(0, addr, false, false); r.Class != arch.RemoteHit || r.Home != 2 {
+		t.Errorf("post-store access from 0 = %+v, want remote hit from cluster 2", r)
+	}
+}
+
+func TestUnifiedCache(t *testing.T) {
+	cfg := arch.UnifiedConfig(5)
+	uc := NewUnified(cfg)
+	if r := uc.Access(0, 128, false, false); r.Class != arch.LocalMiss {
+		t.Errorf("first access = %v, want (local) miss", r.Class)
+	}
+	// Issuing cluster is irrelevant in a unified cache.
+	if r := uc.Access(3, 128, false, false); r.Class != arch.LocalHit {
+		t.Errorf("re-access from another cluster = %v, want hit", r.Class)
+	}
+	uc.FlushBuffers() // no-op, must not panic
+}
+
+func TestNewDispatch(t *testing.T) {
+	if _, ok := New(arch.Default()).(*Interleaved); !ok {
+		t.Error("New(Interleaved config) wrong type")
+	}
+	if _, ok := New(arch.MultiVLIWConfig()).(*MultiVLIWCache); !ok {
+		t.Error("New(MultiVLIW config) wrong type")
+	}
+	if _, ok := New(arch.UnifiedConfig(1)).(*UnifiedCache); !ok {
+		t.Error("New(Unified config) wrong type")
+	}
+}
+
+// TestInterleavedWorkingSetCapacity: a working set larger than 8KB thrashes
+// (hit rate well below 1); one that fits is all hits after warmup.
+func TestInterleavedWorkingSetCapacity(t *testing.T) {
+	ic, cfg := defaultInterleaved(false)
+	// Fits: 4KB streamed twice.
+	misses := 0
+	for pass := 0; pass < 2; pass++ {
+		for a := int64(0); a < 4096; a += 32 {
+			if r := ic.Access(cfg.HomeCluster(a), a, false, false); r.Class == arch.LocalMiss || r.Class == arch.RemoteMiss {
+				misses++
+			}
+		}
+	}
+	if misses != 128 {
+		t.Errorf("4KB working set: %d misses, want 128 (cold only)", misses)
+	}
+	// Does not fit: 32KB streamed twice misses on every block.
+	ic2, _ := defaultInterleaved(false)
+	misses = 0
+	for pass := 0; pass < 2; pass++ {
+		for a := int64(0); a < 32*1024; a += 32 {
+			if r := ic2.Access(cfg.HomeCluster(a), a, false, false); r.Class == arch.LocalMiss || r.Class == arch.RemoteMiss {
+				misses++
+			}
+		}
+	}
+	if misses < 2000 {
+		t.Errorf("32KB working set: only %d misses, want ~2048 (thrash)", misses)
+	}
+}

@@ -1,0 +1,93 @@
+package chains
+
+import (
+	"testing"
+
+	"ivliw/internal/ir"
+	"ivliw/internal/paperex"
+)
+
+func TestPaperExampleChains(t *testing.T) {
+	l, n := paperex.Loop()
+	s := Build(l)
+	// n1, n2 and n4 form one memory dependent chain (§4.3.3); n6 is alone.
+	if s.ChainOf(n.N1) != s.ChainOf(n.N2) || s.ChainOf(n.N1) != s.ChainOf(n.N4) {
+		t.Errorf("n1, n2, n4 not in the same chain: %d %d %d",
+			s.ChainOf(n.N1), s.ChainOf(n.N2), s.ChainOf(n.N4))
+	}
+	if s.ChainOf(n.N6) == s.ChainOf(n.N1) {
+		t.Error("n6 must be in its own chain")
+	}
+	if s.Len(n.N1) != 3 {
+		t.Errorf("chain of n1 has %d members, want 3", s.Len(n.N1))
+	}
+	if s.Len(n.N6) != 1 {
+		t.Errorf("chain of n6 has %d members, want 1", s.Len(n.N6))
+	}
+	if s.ChainOf(n.N5) != -1 || s.Len(n.N5) != 0 {
+		t.Error("non-memory instruction must have no chain")
+	}
+}
+
+func TestTransitiveChains(t *testing.T) {
+	b := ir.NewBuilder("t", 10, 1)
+	m := ir.MemInfo{Sym: "a", Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 256}
+	s1 := b.Store("s1", m)
+	l1 := b.Load("l1", m)
+	s2 := b.Store("s2", m)
+	l2 := b.Load("l2", m) // independent
+	b.MemEdge(s1, l1, 0).MemEdge(l1, s2, 1)
+	_ = l2
+	loop := b.MustBuild()
+	set := Build(loop)
+	if set.ChainOf(s1) != set.ChainOf(s2) {
+		t.Error("transitive memory dependences must merge chains")
+	}
+	if set.ChainOf(l2) == set.ChainOf(s1) {
+		t.Error("independent load must stay in its own chain")
+	}
+	if len(set.Chains) != 2 {
+		t.Errorf("got %d chains, want 2", len(set.Chains))
+	}
+	// Chain IDs are dense and members sorted.
+	for i, c := range set.Chains {
+		if c.ID != i {
+			t.Errorf("chain %d has ID %d", i, c.ID)
+		}
+		for j := 1; j < len(c.Members); j++ {
+			if c.Members[j] <= c.Members[j-1] {
+				t.Errorf("chain %d members not sorted: %v", i, c.Members)
+			}
+		}
+	}
+}
+
+func TestAveragePreferred(t *testing.T) {
+	b := ir.NewBuilder("p", 10, 1)
+	m := ir.MemInfo{Sym: "a", Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 256}
+	i1 := b.Load("i1", m)
+	i2 := b.Load("i2", m)
+	i3 := b.Store("i3", m)
+	b.MemEdge(i1, i3, 0).MemEdge(i2, i3, 0)
+	loop := b.MustBuild()
+	set := Build(loop)
+	if len(set.Chains) != 1 {
+		t.Fatalf("got %d chains, want 1", len(set.Chains))
+	}
+	// i1 and i2 mostly hit cluster 0; i3 hits cluster 1 — the average
+	// preferred cluster is 0 (as for n1,n2,n4 in the paper example).
+	hist := map[int][]float64{
+		i1: {10, 0, 0, 0},
+		i2: {8, 2, 0, 0},
+		i3: {0, 9, 0, 0},
+	}
+	got := set.Chains[0].AveragePreferred(4, func(id int) []float64 { return hist[id] })
+	if got != 0 {
+		t.Errorf("AveragePreferred = %d, want 0", got)
+	}
+	// Without profiles everything is zero; cluster 0 by convention.
+	got = set.Chains[0].AveragePreferred(4, func(id int) []float64 { return nil })
+	if got != 0 {
+		t.Errorf("AveragePreferred without profile = %d, want 0", got)
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+
+	"ivliw/internal/addrspace"
+	"ivliw/internal/arch"
+	"ivliw/internal/ir"
+	"ivliw/internal/sched"
+)
+
+func streamLoop(t *testing.T, stride int64, gran int) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("stream", 256, 1)
+	ld := b.Load("ld", ir.MemInfo{Sym: "a", Kind: ir.AllocHeap, Stride: stride, StrideKnown: true, Gran: gran, SymBytes: 4096})
+	op := b.Op("op", ir.OpIntALU)
+	st := b.Store("st", ir.MemInfo{Sym: "b", Kind: ir.AllocHeap, Stride: stride, StrideKnown: true, Gran: gran, SymBytes: 4096})
+	b.Flow(ld, op).Flow(op, st)
+	return b.MustBuild()
+}
+
+func compile(t *testing.T, l *ir.Loop, cfg arch.Config, opt Options) *Compiled {
+	t.Helper()
+	ds := addrspace.Dataset{Seed: 1, Aligned: true}
+	lay := addrspace.NewLayout([]*ir.Loop{l}, cfg, ds)
+	c, err := Compile(l, cfg, lay, ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSelectivePicksOUFForUnitStride(t *testing.T) {
+	l := streamLoop(t, 4, 4)
+	c := compile(t, l, arch.Default(), Options{Heuristic: sched.IPBC, Unroll: Selective})
+	if c.UnrollFactor != 4 {
+		t.Errorf("unroll factor = %d, want 4 (OUF for 4-byte stride)", c.UnrollFactor)
+	}
+	// After unrolling, every access has stride N·I and one home cluster.
+	for _, in := range c.Loop.Instrs {
+		if in.Mem != nil && in.Mem.Stride%16 != 0 {
+			t.Errorf("%s stride %d not multiple of 16", in.Name, in.Mem.Stride)
+		}
+	}
+}
+
+func TestUnrollModes(t *testing.T) {
+	l := streamLoop(t, 4, 4)
+	cfg := arch.Default()
+	cases := map[UnrollMode]int{NoUnroll: 1, UnrollxN: 4, OUFUnroll: 4}
+	for mode, want := range cases {
+		c := compile(t, l, cfg, Options{Heuristic: sched.IPBC, Unroll: mode})
+		if c.UnrollFactor != want {
+			t.Errorf("%v: unroll = %d, want %d", mode, c.UnrollFactor, want)
+		}
+	}
+}
+
+// TestUnifiedForcesBase: compiling for a unified machine always uses BASE.
+func TestUnifiedForcesBase(t *testing.T) {
+	l := streamLoop(t, 4, 4)
+	c := compile(t, l, arch.UnifiedConfig(1), Options{Heuristic: sched.IPBC, Unroll: NoUnroll})
+	// BASE with a unified ladder: the max assigned latency is the miss
+	// latency (11), not the remote miss (15).
+	for _, id := range c.Loop.MemInstrs() {
+		if c.Loop.Instrs[id].IsLoad() && c.Schedule.Assigned[id] > 11 {
+			t.Errorf("unified load latency %d > miss latency 11", c.Schedule.Assigned[id])
+		}
+	}
+}
+
+// TestChainAveragedPreferred: all members of a chain share one target
+// cluster; with NoChains they may differ.
+func TestChainAveragedPreferred(t *testing.T) {
+	b := ir.NewBuilder("chain", 256, 1)
+	l1 := b.Load("l1", ir.MemInfo{Sym: "a", Kind: ir.AllocHeap, Stride: 16, StrideKnown: true, Gran: 4, SymBytes: 4096})
+	l2 := b.Load("l2", ir.MemInfo{Sym: "a", Kind: ir.AllocHeap, Offset: 8, Stride: 16, StrideKnown: true, Gran: 4, SymBytes: 4096})
+	st := b.Store("st", ir.MemInfo{Sym: "a", Kind: ir.AllocHeap, Offset: 4, Stride: 16, StrideKnown: true, Gran: 4, SymBytes: 4096})
+	b.MemEdge(l1, st, 0).MemEdge(l2, st, 0)
+	loop := b.MustBuild()
+	cfg := arch.Default()
+
+	c := compile(t, loop, cfg, Options{Heuristic: sched.IPBC, Unroll: NoUnroll})
+	if c.Preferred[l1] != c.Preferred[l2] || c.Preferred[l1] != c.Preferred[st] {
+		t.Errorf("chain members have different targets: %v", c.Preferred)
+	}
+	cn := compile(t, loop, cfg, Options{Heuristic: sched.IPBC, Unroll: NoUnroll, NoChains: true})
+	// Offsets 0, 4, 8 of an aligned array prefer clusters 0, 1, 2.
+	if cn.Preferred[l1] == cn.Preferred[l2] {
+		t.Errorf("no-chains targets unexpectedly equal: %v", cn.Preferred)
+	}
+}
+
+// TestLatencyAssignmentLowersRecurrenceLoads: an accumulation through a
+// load must end below the remote-miss latency.
+func TestLatencyAssignmentLowersRecurrenceLoads(t *testing.T) {
+	b := ir.NewBuilder("acc", 256, 1)
+	ld := b.Load("ld", ir.MemInfo{Sym: "a", Kind: ir.AllocHeap, Stride: 16, StrideKnown: true, Gran: 4, SymBytes: 2048})
+	add := b.Op("add", ir.OpIntALU)
+	b.Flow(ld, add).FlowD(add, add, 1).FlowD(add, ld, 1)
+	loop := b.MustBuild()
+	c := compile(t, loop, arch.Default(), Options{Heuristic: sched.IPBC, Unroll: NoUnroll})
+	if got := c.Schedule.Assigned[ld]; got >= 15 {
+		t.Errorf("recurrence load latency = %d, want < 15", got)
+	}
+	if len(c.Latency.Steps) == 0 {
+		t.Error("no latency-assignment steps recorded")
+	}
+}
+
+// TestABHintsLimitAttractable: with hints on and more loads in a cluster
+// than AB entries, some loads become non-attractable.
+func TestABHintsLimitAttractable(t *testing.T) {
+	cfg := arch.Default()
+	cfg.AttractionBuffers = true
+	cfg.ABEntries = 4
+	cfg.ABAssoc = 2
+	cfg.ABHints = true
+	b := ir.NewBuilder("many", 256, 1)
+	for i := 0; i < 8; i++ {
+		b.Load("ld", ir.MemInfo{Sym: "a", Kind: ir.AllocHeap, Offset: int64(16 * i), Stride: 16, StrideKnown: true, Gran: 4, SymBytes: 4096})
+	}
+	loop := b.MustBuild()
+	// All loads prefer cluster 0 (aligned, stride 16): IPBC pins them
+	// together, overflowing the 4-entry AB.
+	c := compile(t, loop, cfg, Options{Heuristic: sched.IPBC, Unroll: NoUnroll, NoChains: true})
+	attractable := 0
+	for _, id := range c.Loop.MemInstrs() {
+		if c.Attractable[id] {
+			attractable++
+		}
+	}
+	wantK := cfg.ABEntries / 8
+	if wantK < 1 {
+		wantK = 1
+	}
+	if attractable != wantK {
+		t.Errorf("attractable loads = %d, want %d (K bounded by AB capacity)", attractable, wantK)
+	}
+	// Without hints everything stays attractable.
+	cfg.ABHints = false
+	c2 := compile(t, loop, cfg, Options{Heuristic: sched.IPBC, Unroll: NoUnroll, NoChains: true})
+	for _, id := range c2.Loop.MemInstrs() {
+		if !c2.Attractable[id] {
+			t.Errorf("load %d not attractable without hints", id)
+		}
+	}
+}
+
+// TestTexecOrdersCandidates: selective unrolling must never pick a variant
+// with a worse estimate than the explicit candidates.
+func TestTexecOrdersCandidates(t *testing.T) {
+	l := streamLoop(t, 4, 4)
+	cfg := arch.Default()
+	ds := addrspace.Dataset{Seed: 1, Aligned: true}
+	lay := addrspace.NewLayout([]*ir.Loop{l}, cfg, ds)
+	sel, err := Compile(l, cfg, lay, ds, Options{Heuristic: sched.IPBC, Unroll: Selective})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []UnrollMode{NoUnroll, UnrollxN, OUFUnroll} {
+		c, err := Compile(l, cfg, lay, ds, Options{Heuristic: sched.IPBC, Unroll: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Texec > c.Texec {
+			t.Errorf("selective Texec %d worse than %v's %d", sel.Texec, mode, c.Texec)
+		}
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	l := streamLoop(t, 4, 4)
+	cfg := arch.Default()
+	cfg.Clusters = 0
+	ds := addrspace.Dataset{Seed: 1}
+	if _, err := Compile(l, cfg, nil, ds, Options{}); err == nil {
+		t.Error("Compile accepted an invalid configuration")
+	}
+}
+
+func TestUnrollModeString(t *testing.T) {
+	want := map[UnrollMode]string{NoUnroll: "no-unroll", UnrollxN: "unrollxN", OUFUnroll: "OUF", Selective: "selective"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+}
+
+// TestNoLatAssignAblation: disabling latency assignment leaves every load
+// at the remote-miss latency, inflating recurrence IIs.
+func TestNoLatAssignAblation(t *testing.T) {
+	b := ir.NewBuilder("acc", 256, 1)
+	ld := b.Load("ld", ir.MemInfo{Sym: "a", Kind: ir.AllocHeap, Stride: 16, StrideKnown: true, Gran: 4, SymBytes: 2048})
+	add := b.Op("add", ir.OpIntALU)
+	b.Flow(ld, add).FlowD(add, ld, 1)
+	loop := b.MustBuild()
+	with := compile(t, loop, arch.Default(), Options{Heuristic: sched.IPBC, Unroll: NoUnroll})
+	without := compile(t, loop, arch.Default(), Options{Heuristic: sched.IPBC, Unroll: NoUnroll, NoLatAssign: true})
+	if without.Schedule.Assigned[ld] != 15 {
+		t.Errorf("ablated load latency = %d, want 15", without.Schedule.Assigned[ld])
+	}
+	if without.Schedule.II <= with.Schedule.II {
+		t.Errorf("ablated II %d not above assigned II %d", without.Schedule.II, with.Schedule.II)
+	}
+	if len(without.Latency.Steps) != 0 {
+		t.Error("ablation recorded latency steps")
+	}
+}
+
+// TestNaiveOrderAblation: naive ordering still produces a valid schedule
+// (the verifier lives in sched tests; here we check it completes and the
+// pipeline plumbs the option).
+func TestNaiveOrderAblation(t *testing.T) {
+	l := streamLoop(t, 4, 4)
+	c := compile(t, l, arch.Default(), Options{Heuristic: sched.IPBC, Unroll: UnrollxN, NaiveOrder: true})
+	if c.Schedule.II < c.Schedule.MII {
+		t.Errorf("II %d below MII %d", c.Schedule.II, c.Schedule.MII)
+	}
+}
+
+// TestMetaPlumbing: the simulator annotations reflect the compilation.
+func TestMetaPlumbing(t *testing.T) {
+	l := streamLoop(t, 16, 4)
+	c := compile(t, l, arch.Default(), Options{Heuristic: sched.IPBC, Unroll: NoUnroll})
+	m := c.Meta()
+	for _, id := range c.Loop.MemInstrs() {
+		if m.Preferred(id) != c.Preferred[id] {
+			t.Errorf("Meta.Preferred(%d) mismatch", id)
+		}
+		if d := m.Dispersion(id); d < 0 || d > 1 {
+			t.Errorf("Meta.Dispersion(%d) = %g out of range", id, d)
+		}
+		if c.Loop.Instrs[id].IsLoad() && !m.Attractable(id) {
+			t.Errorf("load %d not attractable without hints", id)
+		}
+	}
+}

@@ -1,0 +1,562 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5): Figure 4 (memory access classification), Figure 5
+// (stall-causing factor classification), Figure 6 (stall time by access
+// type with/without Attraction Buffers), Figure 7 (workload balance),
+// Figure 8 (cycle counts across architectures) and the Table 1/2 summaries,
+// plus the headline numbers quoted in the abstract and conclusions.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ivliw/internal/addrspace"
+	"ivliw/internal/arch"
+	"ivliw/internal/cache"
+	"ivliw/internal/core"
+	"ivliw/internal/sched"
+	"ivliw/internal/sim"
+	"ivliw/internal/stats"
+	"ivliw/internal/workload"
+)
+
+// Variant is one (machine, compiler) configuration under test.
+type Variant struct {
+	// Label names the variant in tables.
+	Label string
+	// Cfg is the machine configuration.
+	Cfg arch.Config
+	// Opt is the compiler configuration.
+	Opt core.Options
+	// Aligned enables variable alignment (§4.3.4) for both data sets.
+	Aligned bool
+}
+
+// Interleaved builds a word-interleaved variant.
+func Interleaved(label string, h sched.Heuristic, um core.UnrollMode, aligned, buffers, noChains bool) Variant {
+	cfg := arch.Default()
+	cfg.AttractionBuffers = buffers
+	return Variant{
+		Label:   label,
+		Cfg:     cfg,
+		Opt:     core.Options{Heuristic: h, Unroll: um, NoChains: noChains},
+		Aligned: aligned,
+	}
+}
+
+// MultiVLIWVariant builds the coherent-cache variant (IBC heuristic, as in
+// the paper).
+func MultiVLIWVariant() Variant {
+	return Variant{
+		Label:   "MultiVLIW",
+		Cfg:     arch.MultiVLIWConfig(),
+		Opt:     core.Options{Heuristic: sched.IBC, Unroll: core.Selective},
+		Aligned: true,
+	}
+}
+
+// UnifiedVariant builds the unified-cache baseline with the given latency.
+func UnifiedVariant(latency int) Variant {
+	return Variant{
+		Label:   fmt.Sprintf("Unified(L=%d)", latency),
+		Cfg:     arch.UnifiedConfig(latency),
+		Opt:     core.Options{Heuristic: sched.Base, Unroll: core.Selective},
+		Aligned: true,
+	}
+}
+
+// RunBench compiles and simulates every loop of one benchmark under the
+// variant, sharing the L1 across loops (Attraction Buffers are flushed
+// between loops by the simulator).
+func RunBench(spec workload.BenchSpec, v Variant) (stats.Bench, error) {
+	profDS := addrspace.Dataset{Seed: spec.ProfileSeed, Aligned: v.Aligned}
+	execDS := addrspace.Dataset{Seed: spec.ExecSeed, Aligned: v.Aligned}
+	loops := spec.AllLoops()
+	profLay := addrspace.NewLayout(loops, v.Cfg, profDS)
+	execLay := addrspace.NewLayout(loops, v.Cfg, execDS)
+	hier := cache.New(v.Cfg)
+
+	bench := stats.Bench{Name: spec.Name}
+	for _, ls := range spec.Loops {
+		c, err := core.Compile(ls.Loop, v.Cfg, profLay, profDS, v.Opt)
+		if err != nil {
+			return bench, fmt.Errorf("experiments: %s/%s: %w", spec.Name, ls.Loop.Name, err)
+		}
+		res := sim.RunLoop(c.Schedule, execLay, execDS, v.Cfg, hier, int64(c.Loop.AvgIters), c.Meta())
+		res.Scale(ls.Invocations)
+		bench.Loops = append(bench.Loops, res)
+	}
+	return bench, nil
+}
+
+// RunSuite runs every benchmark of the suite under the variant.
+func RunSuite(v Variant) (map[string]stats.Bench, error) {
+	out := map[string]stats.Bench{}
+	for _, spec := range workload.Suite() {
+		b, err := RunBench(spec, v)
+		if err != nil {
+			return nil, err
+		}
+		out[spec.Name] = b
+	}
+	return out, nil
+}
+
+// BenchNames returns the suite's benchmark names in Table 1 order.
+func BenchNames() []string {
+	var names []string
+	for _, b := range workload.Suite() {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+// ---------- Figure 4 ----------
+
+// Fig4Bar is one bar of Figure 4: the access-class shares of one benchmark
+// under one IPBC scheduling variant.
+type Fig4Bar struct {
+	Variant string
+	Shares  [stats.NumClasses]float64
+}
+
+// Fig4Row holds the four bars of one benchmark.
+type Fig4Row struct {
+	Bench string
+	Bars  []Fig4Bar
+}
+
+// Fig4Variants returns the four scheduling variants of Figure 4, in bar
+// order: (i) no unrolling + alignment, (ii) OUF without alignment, (iii)
+// OUF + alignment, (iv) OUF + alignment without memory dependent chains.
+func Fig4Variants() []Variant {
+	return []Variant{
+		Interleaved("no-unroll+align", sched.IPBC, core.NoUnroll, true, false, false),
+		Interleaved("OUF,no-align", sched.IPBC, core.OUFUnroll, false, false, false),
+		Interleaved("OUF+align", sched.IPBC, core.OUFUnroll, true, false, false),
+		Interleaved("OUF+align,no-chains", sched.IPBC, core.OUFUnroll, true, false, true),
+	}
+}
+
+// Figure4 computes the memory access classification of every benchmark
+// under the four IPBC variants, plus the AMEAN row.
+func Figure4() ([]Fig4Row, error) {
+	variants := Fig4Variants()
+	rows := make([]Fig4Row, 0, 15)
+	sums := make([][stats.NumClasses]float64, len(variants))
+	for _, spec := range workload.Suite() {
+		row := Fig4Row{Bench: spec.Name}
+		for vi, v := range variants {
+			b, err := RunBench(spec, v)
+			if err != nil {
+				return nil, err
+			}
+			shares := b.AccessShares()
+			row.Bars = append(row.Bars, Fig4Bar{Variant: v.Label, Shares: shares})
+			for c := range shares {
+				sums[vi][c] += shares[c]
+			}
+		}
+		rows = append(rows, row)
+	}
+	n := float64(len(workload.Suite()))
+	mean := Fig4Row{Bench: "AMEAN"}
+	for vi, v := range variants {
+		var bar Fig4Bar
+		bar.Variant = v.Label
+		for c := range sums[vi] {
+			bar.Shares[c] = sums[vi][c] / n
+		}
+		mean.Bars = append(mean.Bars, bar)
+	}
+	return append(rows, mean), nil
+}
+
+// ---------- Figure 5 ----------
+
+// Fig5Row holds, for one benchmark and one heuristic, the share of
+// remote-hit stall time attributed to each Figure 5 factor (factors are not
+// exclusive; shares may sum above 1).
+type Fig5Row struct {
+	Bench  string
+	IBC    [stats.NumCauses]float64
+	IPBC   [stats.NumCauses]float64
+	IBCTot int64
+	IPBCTo int64
+}
+
+// Figure5 classifies stall-generating remote hits under selective unrolling
+// for IBC and IPBC (no Attraction Buffers).
+func Figure5() ([]Fig5Row, error) {
+	vIBC := Interleaved("IBC", sched.IBC, core.Selective, true, false, false)
+	vIPBC := Interleaved("IPBC", sched.IPBC, core.Selective, true, false, false)
+	var rows []Fig5Row
+	for _, spec := range workload.Suite() {
+		bi, err := RunBench(spec, vIBC)
+		if err != nil {
+			return nil, err
+		}
+		bp, err := RunBench(spec, vIPBC)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig5Row{Bench: spec.Name}
+		row.IBC, row.IBCTot = causeShares(bi)
+		row.IPBC, row.IPBCTo = causeShares(bp)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func causeShares(b stats.Bench) ([stats.NumCauses]float64, int64) {
+	var shares [stats.NumCauses]float64
+	rh := b.StallByClass()[stats.RHit]
+	if rh == 0 {
+		return shares, 0
+	}
+	causes := b.StallCauses()
+	for c := range causes {
+		shares[c] = float64(causes[c]) / float64(rh)
+	}
+	return shares, rh
+}
+
+// ---------- Figure 6 ----------
+
+// Fig6Bar is one bar of Figure 6: stall time by access type under one
+// (heuristic, Attraction Buffer) combination, normalized to the first bar.
+type Fig6Bar struct {
+	Variant      string
+	StallByClass [stats.NumClasses]int64
+	Normalized   float64
+}
+
+// Fig6Row holds the four bars of one benchmark.
+type Fig6Row struct {
+	Bench string
+	Bars  []Fig6Bar
+}
+
+// Fig6Variants returns the bar order of Figure 6: IBC, IBC+AB, IPBC,
+// IPBC+AB, all with selective unrolling and alignment.
+func Fig6Variants() []Variant {
+	return []Variant{
+		Interleaved("IBC", sched.IBC, core.Selective, true, false, false),
+		Interleaved("IBC+AB", sched.IBC, core.Selective, true, true, false),
+		Interleaved("IPBC", sched.IPBC, core.Selective, true, false, false),
+		Interleaved("IPBC+AB", sched.IPBC, core.Selective, true, true, false),
+	}
+}
+
+// Figure6 computes stall time by access type for the four variants plus the
+// AMEAN row (normalized stall means).
+func Figure6() ([]Fig6Row, error) {
+	variants := Fig6Variants()
+	var rows []Fig6Row
+	sums := make([]float64, len(variants))
+	counted := 0
+	for _, spec := range workload.Suite() {
+		row := Fig6Row{Bench: spec.Name}
+		var base int64
+		for vi, v := range variants {
+			b, err := RunBench(spec, v)
+			if err != nil {
+				return nil, err
+			}
+			bar := Fig6Bar{Variant: v.Label, StallByClass: b.StallByClass()}
+			if vi == 0 {
+				base = b.StallCycles()
+			}
+			if base > 0 {
+				bar.Normalized = float64(b.StallCycles()) / float64(base)
+			}
+			row.Bars = append(row.Bars, bar)
+		}
+		// The paper omits g721dec/g721enc (negligible stall); keep the
+		// same rule: benchmarks with a tiny baseline stall are listed
+		// but excluded from the mean.
+		if base > 50 {
+			for vi := range variants {
+				sums[vi] += row.Bars[vi].Normalized
+			}
+			counted++
+		}
+		rows = append(rows, row)
+	}
+	mean := Fig6Row{Bench: "AMEAN"}
+	for vi, v := range variants {
+		bar := Fig6Bar{Variant: v.Label}
+		if counted > 0 {
+			bar.Normalized = sums[vi] / float64(counted)
+		}
+		mean.Bars = append(mean.Bars, bar)
+	}
+	return append(rows, mean), nil
+}
+
+// ---------- Figure 7 ----------
+
+// Fig7Row holds the workload balance of one benchmark under the three IPBC
+// variants of Figure 7.
+type Fig7Row struct {
+	Bench                      string
+	NoUnroll, OUF, OUFNoChains float64
+}
+
+// Figure7 computes workload balance for IPBC with (i) no unrolling, (ii)
+// OUF unrolling and (iii) OUF unrolling without memory dependent chains.
+func Figure7() ([]Fig7Row, error) {
+	variants := []Variant{
+		Interleaved("IPBC no-unroll", sched.IPBC, core.NoUnroll, true, false, false),
+		Interleaved("IPBC OUF", sched.IPBC, core.OUFUnroll, true, false, false),
+		Interleaved("IPBC OUF no-chains", sched.IPBC, core.OUFUnroll, true, false, true),
+	}
+	var rows []Fig7Row
+	for _, spec := range workload.Suite() {
+		var vals [3]float64
+		for vi, v := range variants {
+			b, err := RunBench(spec, v)
+			if err != nil {
+				return nil, err
+			}
+			vals[vi] = b.WeightedBalance()
+		}
+		rows = append(rows, Fig7Row{
+			Bench: spec.Name, NoUnroll: vals[0], OUF: vals[1], OUFNoChains: vals[2],
+		})
+	}
+	return rows, nil
+}
+
+// ---------- Figure 8 ----------
+
+// Fig8Row holds the normalized cycle counts of one benchmark: each bar's
+// compute and stall time normalized to the Unified(L=1) baseline total.
+type Fig8Row struct {
+	Bench string
+	// Baseline is the absolute Unified(L=1) cycle count.
+	Baseline int64
+	Bars     []Fig8Bar
+}
+
+// Fig8Bar is one architecture's normalized cycle count.
+type Fig8Bar struct {
+	Variant        string
+	Compute, Stall float64 // normalized to the baseline total
+	Absolute       int64
+	ComputeAbs     int64
+	StallAbs       int64
+}
+
+// Fig8Variants returns the bar order of Figure 8: interleaved IPBC with
+// 16-entry ABs, interleaved IBC with ABs, multiVLIW, Unified(L=5).
+func Fig8Variants() []Variant {
+	return []Variant{
+		Interleaved("IPBC", sched.IPBC, core.Selective, true, true, false),
+		Interleaved("IBC", sched.IBC, core.Selective, true, true, false),
+		MultiVLIWVariant(),
+		UnifiedVariant(5),
+	}
+}
+
+// Figure8 computes cycle counts for the four architectures normalized to a
+// unified cache with 1-cycle latency, plus the AMEAN row.
+func Figure8() ([]Fig8Row, error) {
+	variants := Fig8Variants()
+	base := UnifiedVariant(1)
+	var rows []Fig8Row
+	sums := make([]float64, len(variants))
+	for _, spec := range workload.Suite() {
+		bb, err := RunBench(spec, base)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig8Row{Bench: spec.Name, Baseline: bb.TotalCycles()}
+		for vi, v := range variants {
+			b, err := RunBench(spec, v)
+			if err != nil {
+				return nil, err
+			}
+			fb := Fig8Bar{
+				Variant:    v.Label,
+				Absolute:   b.TotalCycles(),
+				ComputeAbs: b.ComputeCycles(),
+				StallAbs:   b.StallCycles(),
+			}
+			if row.Baseline > 0 {
+				fb.Compute = float64(fb.ComputeAbs) / float64(row.Baseline)
+				fb.Stall = float64(fb.StallAbs) / float64(row.Baseline)
+			}
+			row.Bars = append(row.Bars, fb)
+			sums[vi] += fb.Compute + fb.Stall
+		}
+		rows = append(rows, row)
+	}
+	n := float64(len(workload.Suite()))
+	mean := Fig8Row{Bench: "AMEAN"}
+	for vi, v := range variants {
+		mean.Bars = append(mean.Bars, Fig8Bar{Variant: v.Label, Compute: sums[vi] / n})
+	}
+	return append(rows, mean), nil
+}
+
+// ---------- Headlines ----------
+
+// Headlines are the quantitative claims of the abstract/conclusions,
+// recomputed from the figure data.
+type Headlines struct {
+	// LocalHitGainAlignment is the mean local-hit-ratio gain of variable
+	// alignment under OUF unrolling (paper: ~20%, absolute percentage
+	// points here).
+	LocalHitGainAlignment float64
+	// LocalHitGainUnrolling is the mean gain of OUF unrolling over no
+	// unrolling, both aligned (paper: ~27%).
+	LocalHitGainUnrolling float64
+	// StallReductionIBC and StallReductionIPBC are the mean stall
+	// reductions from Attraction Buffers (paper: 34% and 29%).
+	StallReductionIBC, StallReductionIPBC float64
+	// SpeedupIBC and SpeedupIPBC are the mean speedups over
+	// Unified(L=5) (paper: 10% and 5%).
+	SpeedupIBC, SpeedupIPBC float64
+	// VsMultiVLIW is the mean cycle-count ratio of the interleaved IBC
+	// configuration versus the multiVLIW (paper: ~7% degradation for the
+	// interleaved machine overall).
+	VsMultiVLIW float64
+}
+
+// ComputeHeadlines derives the headline numbers from Figures 4, 6 and 8.
+func ComputeHeadlines(fig4 []Fig4Row, fig6 []Fig6Row, fig8 []Fig8Row) Headlines {
+	var h Headlines
+	n := 0.0
+	for _, r := range fig4 {
+		if r.Bench == "AMEAN" {
+			continue
+		}
+		h.LocalHitGainAlignment += r.Bars[2].Shares[stats.LHit] - r.Bars[1].Shares[stats.LHit]
+		h.LocalHitGainUnrolling += r.Bars[2].Shares[stats.LHit] - r.Bars[0].Shares[stats.LHit]
+		n++
+	}
+	if n > 0 {
+		h.LocalHitGainAlignment /= n
+		h.LocalHitGainUnrolling /= n
+	}
+	for _, r := range fig6 {
+		if r.Bench == "AMEAN" {
+			h.StallReductionIBC = 1 - r.Bars[1].Normalized
+			h.StallReductionIPBC = 1 - r.Bars[3].Normalized/maxF(r.Bars[2].Normalized, 1e-12)
+		}
+	}
+	var ipbc, ibc, mvl, uni5 float64
+	cnt := 0.0
+	for _, r := range fig8 {
+		if r.Bench == "AMEAN" || r.Baseline == 0 {
+			continue
+		}
+		ipbc += float64(r.Bars[0].Absolute)
+		ibc += float64(r.Bars[1].Absolute)
+		mvl += float64(r.Bars[2].Absolute)
+		uni5 += float64(r.Bars[3].Absolute)
+		cnt++
+	}
+	if cnt > 0 && ipbc > 0 && ibc > 0 && mvl > 0 {
+		h.SpeedupIPBC = uni5/ipbc - 1
+		h.SpeedupIBC = uni5/ibc - 1
+		h.VsMultiVLIW = ibc/mvl - 1
+	}
+	return h
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------- Tables ----------
+
+// Table1 renders the benchmark/input summary.
+func Table1() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-11s %-22s %-20s %s\n", "benchmark", "profile data set", "execution data set", "main data size")
+	for _, b := range workload.Suite() {
+		fmt.Fprintf(&sb, "%-11s %-22s %-20s %d bytes (%d%%)\n",
+			b.Name, b.ProfileInput, b.ExecInput, b.MainGran, b.MainGranPct)
+	}
+	return sb.String()
+}
+
+// Table2 renders the configuration parameters.
+func Table2() string {
+	c := arch.Default()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Number of clusters            %d\n", c.Clusters)
+	fmt.Fprintf(&sb, "Functional units              %d FP / %d integer / %d memory per cluster\n",
+		c.FUsPerCluster[arch.FUFP], c.FUsPerCluster[arch.FUInt], c.FUsPerCluster[arch.FUMem])
+	fmt.Fprintf(&sb, "Cache                         %dKB total (%d x %dKB modules), %dB blocks, %d-way\n",
+		c.CacheBytes/1024, c.Clusters, c.ModuleBytes()/1024, c.BlockBytes, c.Assoc)
+	fmt.Fprintf(&sb, "Latencies                     LH=%d RH=%d LM=%d RM=%d cycles\n",
+		c.Latency(arch.LocalHit), c.Latency(arch.RemoteHit), c.Latency(arch.LocalMiss), c.Latency(arch.RemoteMiss))
+	fmt.Fprintf(&sb, "Register buses                %d at 1/%d core frequency\n", c.RegBuses, c.BusCycleRatio)
+	fmt.Fprintf(&sb, "Memory buses                  %d at 1/%d core frequency\n", c.MemBuses, c.BusCycleRatio)
+	fmt.Fprintf(&sb, "Next memory level             %d ports, %d-cycle latency, always hit\n", c.NextLevelPorts, c.NextLevelLatency)
+	fmt.Fprintf(&sb, "Interleaving factor           %d bytes\n", c.Interleave)
+	fmt.Fprintf(&sb, "Attraction Buffers            %d-entry, %d-way (when enabled)\n", c.ABEntries, c.ABAssoc)
+	return sb.String()
+}
+
+// SortedKeys returns map keys in sorted order (rendering helper).
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ---------- Interleaving-factor sweep (§5.1 future work) ----------
+
+// SweepRow holds one benchmark's cycle counts across interleaving factors.
+type SweepRow struct {
+	Bench string
+	// Cycles maps interleaving factor (bytes) to total cycles under
+	// IPBC with Attraction Buffers and selective unrolling.
+	Cycles map[int]int64
+	// Best is the factor with the fewest cycles.
+	Best int
+}
+
+// InterleaveSweep evaluates the interleaving factors the paper discusses
+// (§5.1: "if a processor is to be built for the gsm family of applications,
+// a 2-byte interleaving factor would match better the applications'
+// characteristics") over the given benchmarks. Factors must divide the
+// block size evenly across clusters.
+func InterleaveSweep(benches []string, factors []int) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, name := range benches {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+		}
+		row := SweepRow{Bench: name, Cycles: map[int]int64{}}
+		for _, f := range factors {
+			v := Interleaved(fmt.Sprintf("IF=%d", f), sched.IPBC, core.Selective, true, true, false)
+			v.Cfg.Interleave = f
+			if err := v.Cfg.Validate(); err != nil {
+				return nil, err
+			}
+			b, err := RunBench(spec, v)
+			if err != nil {
+				return nil, err
+			}
+			row.Cycles[f] = b.TotalCycles()
+			if row.Best == 0 || row.Cycles[f] < row.Cycles[row.Best] {
+				row.Best = f
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ivliw/internal/core"
+	"ivliw/internal/sched"
+	"ivliw/internal/stats"
+	"ivliw/internal/workload"
+)
+
+// TestRunBenchAllVariantsOneBenchmark drives one benchmark through every
+// machine/compiler variant used by the figures and sanity-checks the
+// measurements (full-suite runs are exercised by the top-level benchmarks).
+func TestRunBenchAllVariantsOneBenchmark(t *testing.T) {
+	spec, ok := workload.ByName("gsmdec")
+	if !ok {
+		t.Fatal("gsmdec missing")
+	}
+	variants := append(append(append([]Variant{}, Fig4Variants()...), Fig6Variants()...), Fig8Variants()...)
+	variants = append(variants, UnifiedVariant(1))
+	for _, v := range variants {
+		b, err := RunBench(spec, v)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Label, err)
+		}
+		if len(b.Loops) != len(spec.Loops) {
+			t.Fatalf("%s: %d loop results, want %d", v.Label, len(b.Loops), len(spec.Loops))
+		}
+		if b.TotalCycles() <= 0 {
+			t.Errorf("%s: no cycles", v.Label)
+		}
+		var total int64
+		for c, n := range b.Accesses() {
+			if n < 0 {
+				t.Errorf("%s: negative access count for %v", v.Label, stats.Class(c))
+			}
+			total += n
+		}
+		if total == 0 {
+			t.Errorf("%s: no accesses", v.Label)
+		}
+	}
+}
+
+// TestAlignmentImprovesLocality reproduces the Figure 4 alignment effect on
+// gsmdec: OUF + alignment must yield a far higher local hit ratio than OUF
+// without alignment (the §4.3.4 anecdote is a gsmdec operation).
+func TestAlignmentImprovesLocality(t *testing.T) {
+	spec, _ := workload.ByName("gsmdec")
+	noAlign, err := RunBench(spec, Interleaved("na", sched.IPBC, core.OUFUnroll, false, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	align, err := RunBench(spec, Interleaved("al", sched.IPBC, core.OUFUnroll, true, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if align.LocalHitRatio() <= noAlign.LocalHitRatio()+0.1 {
+		t.Errorf("alignment local-hit gain too small: %.3f vs %.3f",
+			align.LocalHitRatio(), noAlign.LocalHitRatio())
+	}
+}
+
+// TestUnrollingImprovesLocality: OUF unrolling must beat no unrolling on a
+// strided benchmark (both aligned).
+func TestUnrollingImprovesLocality(t *testing.T) {
+	spec, _ := workload.ByName("gsmenc")
+	noU, err := RunBench(spec, Interleaved("nu", sched.IPBC, core.NoUnroll, true, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ouf, err := RunBench(spec, Interleaved("ouf", sched.IPBC, core.OUFUnroll, true, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ouf.LocalHitRatio() <= noU.LocalHitRatio() {
+		t.Errorf("OUF local hits %.3f not above no-unroll %.3f",
+			ouf.LocalHitRatio(), noU.LocalHitRatio())
+	}
+}
+
+// TestChainsReduceLocality: removing chains must not reduce the local hit
+// ratio on a chain-bound benchmark (epicdec, §5.2).
+func TestChainsReduceLocality(t *testing.T) {
+	spec, _ := workload.ByName("epicdec")
+	chains, err := RunBench(spec, Interleaved("c", sched.IPBC, core.OUFUnroll, true, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noChains, err := RunBench(spec, Interleaved("nc", sched.IPBC, core.OUFUnroll, true, false, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noChains.LocalHitRatio() < chains.LocalHitRatio() {
+		t.Errorf("no-chains local hits %.3f below chains %.3f",
+			noChains.LocalHitRatio(), chains.LocalHitRatio())
+	}
+}
+
+// TestAttractionBuffersReduceStall: on a stall-heavy benchmark the ABs cut
+// stall time (Figure 6's headline).
+func TestAttractionBuffersReduceStall(t *testing.T) {
+	spec, _ := workload.ByName("pgpdec")
+	noAB, err := RunBench(spec, Interleaved("ibc", sched.IBC, core.Selective, true, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withAB, err := RunBench(spec, Interleaved("ibc+ab", sched.IBC, core.Selective, true, true, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noAB.StallCycles() == 0 {
+		t.Skip("no stall to reduce")
+	}
+	if withAB.StallCycles() > noAB.StallCycles() {
+		t.Errorf("ABs increased stall: %d -> %d", noAB.StallCycles(), withAB.StallCycles())
+	}
+}
+
+// TestRemoteHitsDominateStall: on the stall-heavy chain benchmarks, remote
+// hits are the main stall source (the paper's §5.2 finding).
+func TestRemoteHitsDominateStall(t *testing.T) {
+	spec, _ := workload.ByName("pgpenc")
+	b, err := RunBench(spec, Interleaved("ipbc", sched.IPBC, core.Selective, true, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbc := b.StallByClass()
+	var total int64
+	for _, v := range sbc {
+		total += v
+	}
+	if total == 0 {
+		t.Skip("no stall")
+	}
+	if sbc[stats.RHit]*2 < total {
+		t.Errorf("remote hits cause %d of %d stall cycles, want majority", sbc[stats.RHit], total)
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := Table1()
+	for _, name := range BenchNames() {
+		if !strings.Contains(t1, name) {
+			t.Errorf("Table1 missing %s", name)
+		}
+	}
+	t2 := Table2()
+	for _, frag := range []string{"4", "8KB", "32B", "2-way", "LH=1 RH=5 LM=10 RM=15", "Interleaving factor"} {
+		if !strings.Contains(t2, frag) {
+			t.Errorf("Table2 missing %q:\n%s", frag, t2)
+		}
+	}
+}
+
+func TestBenchNamesStable(t *testing.T) {
+	names := BenchNames()
+	if len(names) != 14 || names[0] != "epicdec" || names[13] != "rasta" {
+		t.Errorf("BenchNames = %v", names)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("SortedKeys = %v", keys)
+	}
+}
+
+// TestComputeHeadlines wires synthetic figure rows through the headline
+// computation.
+func TestComputeHeadlines(t *testing.T) {
+	fig4 := []Fig4Row{{
+		Bench: "x",
+		Bars: []Fig4Bar{
+			{Shares: [stats.NumClasses]float64{0.2}},
+			{Shares: [stats.NumClasses]float64{0.3}},
+			{Shares: [stats.NumClasses]float64{0.5}},
+			{Shares: [stats.NumClasses]float64{0.6}},
+		},
+	}}
+	fig6 := []Fig6Row{{
+		Bench: "AMEAN",
+		Bars: []Fig6Bar{
+			{Normalized: 1}, {Normalized: 0.66}, {Normalized: 0.9}, {Normalized: 0.639},
+		},
+	}}
+	fig8 := []Fig8Row{{
+		Bench:    "x",
+		Baseline: 100,
+		Bars: []Fig8Bar{
+			{Absolute: 110}, {Absolute: 105}, {Absolute: 108}, {Absolute: 120},
+		},
+	}}
+	h := ComputeHeadlines(fig4, fig6, fig8)
+	if h.LocalHitGainAlignment < 0.19 || h.LocalHitGainAlignment > 0.21 {
+		t.Errorf("alignment gain = %g", h.LocalHitGainAlignment)
+	}
+	if h.LocalHitGainUnrolling < 0.29 || h.LocalHitGainUnrolling > 0.31 {
+		t.Errorf("unrolling gain = %g", h.LocalHitGainUnrolling)
+	}
+	if h.StallReductionIBC < 0.33 || h.StallReductionIBC > 0.35 {
+		t.Errorf("IBC stall reduction = %g", h.StallReductionIBC)
+	}
+	if h.SpeedupIBC <= 0 || h.SpeedupIPBC <= 0 {
+		t.Errorf("speedups = %g/%g", h.SpeedupIBC, h.SpeedupIPBC)
+	}
+	if h.VsMultiVLIW >= 0 {
+		t.Errorf("VsMultiVLIW = %g, want negative (IBC faster than multiVLIW here)", h.VsMultiVLIW)
+	}
+}
+
+// TestInterleaveSweep runs the §5.1 future-work sweep on one benchmark with
+// two factors and checks the bookkeeping.
+func TestInterleaveSweep(t *testing.T) {
+	rows, err := InterleaveSweep([]string{"g721dec"}, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Bench != "g721dec" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.Cycles[2] <= 0 || r.Cycles[4] <= 0 {
+		t.Errorf("cycles = %v", r.Cycles)
+	}
+	if r.Cycles[r.Best] > r.Cycles[2] || r.Cycles[r.Best] > r.Cycles[4] {
+		t.Errorf("best factor %d is not minimal: %v", r.Best, r.Cycles)
+	}
+}
+
+func TestInterleaveSweepErrors(t *testing.T) {
+	if _, err := InterleaveSweep([]string{"nope"}, []int{4}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := InterleaveSweep([]string{"g721dec"}, []int{3}); err == nil {
+		t.Error("invalid interleaving factor accepted (block not divisible)")
+	}
+}
+
+// TestRunBenchErrorPath: an unschedulable variant must surface an error.
+func TestRunBenchErrorPath(t *testing.T) {
+	spec, _ := workload.ByName("g721dec")
+	v := Interleaved("tiny", sched.IPBC, core.NoUnroll, true, false, false)
+	v.Opt.MaxII = -1 // force the II budget below any feasible schedule
+	v.Opt.MaxII = 0  // 0 means default; use an impossible machine instead
+	v.Cfg.FUsPerCluster[0] = 0
+	v.Cfg.FUsPerCluster[1] = 0
+	if _, err := RunBench(spec, v); err == nil {
+		t.Error("RunBench succeeded on a machine without ALUs")
+	}
+}

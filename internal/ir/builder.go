@@ -1,0 +1,93 @@
+package ir
+
+import "fmt"
+
+// Builder incrementally constructs a Loop. It is the programmatic front end
+// used by tests, examples and the synthetic workload generators in place of
+// the paper's C-to-IMPACT pipeline.
+type Builder struct {
+	loop *Loop
+	err  error
+}
+
+// NewBuilder starts a loop with the given name, profiled average trip count
+// and dynamic weight.
+func NewBuilder(name string, avgIters int, weight float64) *Builder {
+	return &Builder{loop: &Loop{Name: name, AvgIters: avgIters, Weight: weight, Unroll: 1}}
+}
+
+// Op appends a non-memory instruction and returns its ID.
+func (b *Builder) Op(name string, class OpClass) int {
+	if class.IsMem() {
+		b.fail("Op called with memory class %v (%s)", class, name)
+		return -1
+	}
+	return b.add(&Instr{Name: name, Class: class})
+}
+
+// Load appends a load of the given memory descriptor and returns its ID.
+func (b *Builder) Load(name string, m MemInfo) int {
+	mm := m
+	return b.add(&Instr{Name: name, Class: OpLoad, Mem: &mm})
+}
+
+// Store appends a store of the given memory descriptor and returns its ID.
+func (b *Builder) Store(name string, m MemInfo) int {
+	mm := m
+	return b.add(&Instr{Name: name, Class: OpStore, Mem: &mm})
+}
+
+func (b *Builder) add(in *Instr) int {
+	in.ID = len(b.loop.Instrs)
+	b.loop.Instrs = append(b.loop.Instrs, in)
+	return in.ID
+}
+
+// Flow adds a register flow dependence from producer to consumer with
+// iteration distance 0.
+func (b *Builder) Flow(from, to int) *Builder { return b.Dep(from, to, RegFlow, 0) }
+
+// FlowD adds a register flow dependence with the given iteration distance.
+func (b *Builder) FlowD(from, to, dist int) *Builder { return b.Dep(from, to, RegFlow, dist) }
+
+// Anti adds a register anti dependence with the given distance.
+func (b *Builder) Anti(from, to, dist int) *Builder { return b.Dep(from, to, RegAnti, dist) }
+
+// MemEdge adds a memory dependence with the given distance.
+func (b *Builder) MemEdge(from, to, dist int) *Builder { return b.Dep(from, to, MemDep, dist) }
+
+// Dep adds an arbitrary dependence edge.
+func (b *Builder) Dep(from, to int, kind DepKind, dist int) *Builder {
+	if from < 0 || to < 0 || from >= len(b.loop.Instrs) || to >= len(b.loop.Instrs) {
+		b.fail("dependence %d->%d out of range", from, to)
+		return b
+	}
+	b.loop.Edges = append(b.loop.Edges, Edge{From: from, To: to, Kind: kind, Distance: dist})
+	return b
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("ir.Builder(%s): %s", b.loop.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Build validates and returns the loop.
+func (b *Builder) Build() (*Loop, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.loop.Validate(); err != nil {
+		return nil, err
+	}
+	return b.loop, nil
+}
+
+// MustBuild is Build for tests and generators with static shapes.
+func (b *Builder) MustBuild() *Loop {
+	l, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

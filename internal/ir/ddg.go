@@ -1,0 +1,233 @@
+package ir
+
+import "sort"
+
+// Graph is an adjacency view over a Loop's dependence edges.
+type Graph struct {
+	Loop *Loop
+	// Out[v] and In[v] list edge indices leaving/entering v.
+	Out, In [][]int
+}
+
+// NewGraph builds the adjacency view of a loop.
+func NewGraph(l *Loop) *Graph {
+	g := &Graph{
+		Loop: l,
+		Out:  make([][]int, len(l.Instrs)),
+		In:   make([][]int, len(l.Instrs)),
+	}
+	for i, e := range l.Edges {
+		g.Out[e.From] = append(g.Out[e.From], i)
+		g.In[e.To] = append(g.In[e.To], i)
+	}
+	return g
+}
+
+// Succs returns the distinct successor instruction IDs of v.
+func (g *Graph) Succs(v int) []int { return g.neighbors(g.Out[v], false) }
+
+// Preds returns the distinct predecessor instruction IDs of v.
+func (g *Graph) Preds(v int) []int { return g.neighbors(g.In[v], true) }
+
+func (g *Graph) neighbors(edges []int, from bool) []int {
+	seen := make(map[int]bool, len(edges))
+	var out []int
+	for _, ei := range edges {
+		e := g.Loop.Edges[ei]
+		n := e.From
+		if !from {
+			n = e.To
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SCCs returns the strongly connected components of the dependence graph in
+// Tarjan discovery order. Components are sorted internally by instruction ID.
+// Trivial components (single node without a self edge) are included; use
+// Recurrences to keep only true recurrences.
+func (g *Graph) SCCs() [][]int {
+	n := len(g.Loop.Instrs)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	// Iterative Tarjan to survive large unrolled bodies without deep
+	// recursion.
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(g.Out[f.v]) {
+				e := g.Loop.Edges[g.Out[f.v][f.ei]]
+				f.ei++
+				w := e.To
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Recurrence is a cyclic strongly connected component of the DDG together
+// with its current initiation-interval lower bound.
+type Recurrence struct {
+	// Nodes are the member instruction IDs (sorted).
+	Nodes []int
+	// II is the minimum initiation interval imposed by the recurrence for
+	// the latency vector passed to Recurrences/RecII.
+	II int
+}
+
+// Recurrences returns the true recurrences of the loop (SCCs that contain a
+// cycle), each with its II computed for the given latency assignment, sorted
+// by decreasing II (most constraining first) with ties broken by smallest
+// member ID for determinism.
+func (g *Graph) Recurrences(assigned []int) []Recurrence {
+	var recs []Recurrence
+	for _, comp := range g.SCCs() {
+		if !g.hasCycle(comp) {
+			continue
+		}
+		recs = append(recs, Recurrence{Nodes: comp, II: g.RecII(comp, assigned)})
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].II != recs[j].II {
+			return recs[i].II > recs[j].II
+		}
+		return recs[i].Nodes[0] < recs[j].Nodes[0]
+	})
+	return recs
+}
+
+// hasCycle reports whether the component (given as a sorted node list)
+// contains at least one dependence cycle: more than one node, or a self edge.
+func (g *Graph) hasCycle(comp []int) bool {
+	if len(comp) > 1 {
+		return true
+	}
+	v := comp[0]
+	for _, ei := range g.Out[v] {
+		if g.Loop.Edges[ei].To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// RecII computes the minimum initiation interval imposed by the recurrence
+// over the given nodes for the latency vector `assigned`: the smallest II
+// such that no cycle inside the component has positive slack deficit, i.e.
+// for every cycle, sum(latency) <= II * sum(distance). Computed by binary
+// search on II with a positive-cycle (Bellman-Ford) feasibility test, which
+// is exact without enumerating elementary circuits.
+func (g *Graph) RecII(nodes []int, assigned []int) int {
+	idx := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	// Dense edge view of the component: endpoints re-indexed, latencies
+	// resolved once. This function sits on the hot path of the
+	// latency-assignment search.
+	type cedge struct{ from, to, lat, dist int }
+	var edges []cedge
+	sumLat := 0
+	for _, e := range g.Loop.Edges {
+		fi, ok1 := idx[e.From]
+		ti, ok2 := idx[e.To]
+		if !ok1 || !ok2 {
+			continue
+		}
+		lt := g.Loop.EdgeLatency(e, assigned)
+		edges = append(edges, cedge{fi, ti, lt, e.Distance})
+		sumLat += lt
+	}
+	if len(edges) == 0 {
+		return 1
+	}
+	dist := make([]int, len(nodes))
+	// feasible reports whether no cycle has sum(lat − II·dist) > 0,
+	// by Bellman-Ford longest-path relaxation bounded to |nodes| rounds.
+	feasible := func(ii int) bool {
+		for i := range dist {
+			dist[i] = 0
+		}
+		for round := 0; round <= len(nodes); round++ {
+			changed := false
+			for _, e := range edges {
+				if d := dist[e.from] + e.lat - ii*e.dist; d > dist[e.to] {
+					dist[e.to] = d
+					changed = true
+				}
+			}
+			if !changed {
+				return true
+			}
+		}
+		return false
+	}
+	// A cycle's latency can never exceed the component's total latency,
+	// so sumLat bounds the answer.
+	lo, hi := 1, sumLat+1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

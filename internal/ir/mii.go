@@ -1,0 +1,73 @@
+package ir
+
+import "ivliw/internal/arch"
+
+// ResMII returns the resource-constrained lower bound on the initiation
+// interval: for each functional-unit kind, the number of body operations
+// needing that kind divided by the total number of units of that kind across
+// all clusters, rounded up. Inter-cluster copies and bus bandwidth are not
+// counted (they depend on the cluster assignment, which is not known yet).
+func ResMII(l *Loop, cfg arch.Config) int {
+	var need [arch.NumFUKinds]int
+	for _, in := range l.Instrs {
+		need[FUFor(in.Class)]++
+	}
+	mii := 1
+	for k := arch.FUKind(0); k < arch.NumFUKinds; k++ {
+		units := cfg.FUsPerCluster[k] * cfg.Clusters
+		if units == 0 {
+			if need[k] > 0 {
+				// No unit can execute the op; signal an impossible
+				// bound loudly rather than loop forever later.
+				return -1
+			}
+			continue
+		}
+		if b := ceilDiv(need[k], units); b > mii {
+			mii = b
+		}
+	}
+	return mii
+}
+
+// FUFor maps an opcode class to the functional-unit kind that executes it.
+// Copies execute on the register buses and occupy no FU; they are mapped to
+// the integer unit kind only for accounting symmetry but are never placed in
+// FU reservation tables by the scheduler.
+func FUFor(c OpClass) arch.FUKind {
+	switch c {
+	case OpIntALU, OpMul, OpCopy:
+		return arch.FUInt
+	case OpFPALU, OpDiv:
+		return arch.FUFP
+	case OpLoad, OpStore:
+		return arch.FUMem
+	}
+	panic("ir: unknown op class")
+}
+
+// RecMII returns the recurrence-constrained lower bound on the initiation
+// interval for the given latency assignment: the maximum II over all
+// recurrences of the loop.
+func RecMII(g *Graph, assigned []int) int {
+	mii := 1
+	for _, r := range g.Recurrences(assigned) {
+		if r.II > mii {
+			mii = r.II
+		}
+	}
+	return mii
+}
+
+// MII returns max(ResMII, RecMII) for the loop under the given latency
+// assignment.
+func MII(g *Graph, cfg arch.Config, assigned []int) int {
+	res := ResMII(g.Loop, cfg)
+	rec := RecMII(g, assigned)
+	if res > rec {
+		return res
+	}
+	return rec
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,122 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"ivliw/internal/addrspace"
+	"ivliw/internal/arch"
+	"ivliw/internal/ir"
+)
+
+func layFor(l *ir.Loop, cfg arch.Config, ds addrspace.Dataset) *addrspace.Layout {
+	return addrspace.NewLayout([]*ir.Loop{l}, cfg, ds)
+}
+
+// TestStridedProfile: an N·I-strided access concentrated in one cluster must
+// profile with dispersion 1; a unit-stride 4-byte access spreads 1/N.
+func TestStridedProfile(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("l", 400, 1)
+	conc := b.Load("conc", ir.MemInfo{Sym: "a", Kind: ir.AllocHeap, Stride: 16, StrideKnown: true, Gran: 4, SymBytes: 4096})
+	spread := b.Load("spread", ir.MemInfo{Sym: "b", Kind: ir.AllocHeap, Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 4096})
+	l := b.MustBuild()
+	ds := addrspace.Dataset{Seed: 1, Aligned: true}
+	p := Run(l, layFor(l, cfg, ds), ds, cfg, 400)
+
+	sc := p.Stats(conc)
+	if sc.Accesses != 400 {
+		t.Fatalf("accesses = %d, want 400", sc.Accesses)
+	}
+	if got := sc.Dispersion(); got != 1 {
+		t.Errorf("16-byte stride dispersion = %g, want 1", got)
+	}
+	if got := sc.Preferred(); got != 0 {
+		t.Errorf("aligned 16-byte stride preferred = %d, want 0", got)
+	}
+	ss := p.Stats(spread)
+	if got := ss.Dispersion(); math.Abs(got-0.25) > 0.01 {
+		t.Errorf("4-byte stride dispersion = %g, want 0.25", got)
+	}
+}
+
+// TestPreferredMovesWithoutAlignment reproduces §4.3.4: the same heap
+// operation profiles to different preferred clusters under different
+// unaligned data sets, and to a stable one when alignment is on.
+func TestPreferredMovesWithoutAlignment(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("gsm", 120, 1)
+	op := b.Load("op", ir.MemInfo{Sym: "d", Kind: ir.AllocHeap, Stride: 16, StrideKnown: true, Gran: 2, SymBytes: 1920})
+	l := b.MustBuild()
+
+	prefUnaligned := map[int]bool{}
+	prefAligned := map[int]bool{}
+	for seed := uint64(0); seed < 12; seed++ {
+		du := addrspace.Dataset{Seed: seed, Aligned: false}
+		prefUnaligned[Run(l, layFor(l, cfg, du), du, cfg, 120).Stats(op).Preferred()] = true
+		da := addrspace.Dataset{Seed: seed, Aligned: true}
+		prefAligned[Run(l, layFor(l, cfg, da), da, cfg, 120).Stats(op).Preferred()] = true
+	}
+	if len(prefUnaligned) < 2 {
+		t.Errorf("unaligned preferred cluster stable across 12 datasets: %v", prefUnaligned)
+	}
+	if len(prefAligned) != 1 {
+		t.Errorf("aligned preferred cluster unstable: %v", prefAligned)
+	}
+}
+
+// TestHitRateCapacity: a small working set re-walked every iteration hits;
+// a giant streaming walk misses except within blocks.
+func TestHitRateCapacity(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("l", 2000, 1)
+	small := b.Load("small", ir.MemInfo{Sym: "s", Kind: ir.AllocGlobal, Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 1024})
+	big := b.Load("big", ir.MemInfo{Sym: "g", Kind: ir.AllocGlobal, Stride: 32, StrideKnown: true, Gran: 4, SymBytes: 1 << 20})
+	l := b.MustBuild()
+	ds := addrspace.Dataset{Seed: 2, Aligned: true}
+	p := Run(l, layFor(l, cfg, ds), ds, cfg, 2000)
+
+	// The streaming load shares sets with the small array, so a few
+	// conflict evictions are expected in a 2-way cache.
+	if hr := p.HitRate(small); hr < 0.8 {
+		t.Errorf("1KB working set hit rate = %g, want > 0.8", hr)
+	}
+	if hr := p.HitRate(big); hr > 0.1 {
+		t.Errorf("block-stride streaming hit rate = %g, want < 0.1", hr)
+	}
+}
+
+func TestIndirectSpread(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("l", 1000, 1)
+	ind := b.Load("ind", ir.MemInfo{Sym: "t", Kind: ir.AllocGlobal, Gran: 4, SymBytes: 4096, Indirect: true, IndirectSpan: 4096})
+	l := b.MustBuild()
+	ds := addrspace.Dataset{Seed: 3, Aligned: true}
+	p := Run(l, layFor(l, cfg, ds), ds, cfg, 1000)
+	if d := p.Stats(ind).Dispersion(); d > 0.4 {
+		t.Errorf("indirect dispersion = %g, want near 0.25", d)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var p *Profile
+	if p.HitRate(3) != 0 || p.Stats(3).Preferred() != 0 || p.Stats(3).HitRate() != 0 {
+		t.Error("nil profile accessors must return zeros")
+	}
+	var s *MemStats
+	if s.Dispersion() != 0 || s.HistFloat() != nil {
+		t.Error("nil MemStats accessors must return zeros")
+	}
+}
+
+func TestEmptyLoop(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("noloads", 10, 1)
+	b.Op("a", ir.OpIntALU)
+	l := b.MustBuild()
+	ds := addrspace.Dataset{Seed: 1}
+	p := Run(l, layFor(l, cfg, ds), ds, cfg, 10)
+	if len(p.Per) != 0 {
+		t.Error("profiling a loop without memory ops must yield no stats")
+	}
+}

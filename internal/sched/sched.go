@@ -1,0 +1,497 @@
+// Package sched implements the cluster-assigning modulo scheduler of §4.2
+// and §4.3.1 Step 4: instructions are taken in swing order and inserted in
+// the partial schedule without backtracking; the set of candidate clusters
+// is ordered to minimize register-to-register communications and balance the
+// workload; memory instructions follow one of the paper's heuristics:
+//
+//   - BASE: the unified-cache algorithm — memory instructions are placed
+//     like any other instruction (the cache is equally distant from every
+//     cluster).
+//   - IBC (Interleaved Build Chains): a memory dependent chain is bound to
+//     whatever cluster minimizes communications for the *first* member
+//     scheduled; the remaining members follow it.
+//   - IPBC (Interleaved Pre-Build Chains): chains are computed before
+//     scheduling and every member goes to the chain's average preferred
+//     cluster (from profiling).
+//
+// Inter-cluster register flow dependences get explicit copy operations that
+// occupy one of the register-to-register buses for BusCycleRatio consecutive
+// cycles of the modulo reservation table and add CommLatency cycles before
+// the consumer may issue. If any instruction cannot be placed, the II is
+// increased and scheduling restarts (iterative modulo scheduling).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"ivliw/internal/arch"
+	"ivliw/internal/ir"
+)
+
+// Heuristic selects the cluster-assignment policy for memory instructions.
+type Heuristic int
+
+const (
+	// Base treats memory instructions like any other instruction and is
+	// the algorithm used for unified-cache and multiVLIW machines.
+	Base Heuristic = iota
+	// IBC builds a chain's cluster binding when its first member is
+	// scheduled (minimizing communications).
+	IBC
+	// IPBC pre-binds every chain to its average preferred cluster.
+	IPBC
+)
+
+// String returns the heuristic name used in figures.
+func (h Heuristic) String() string {
+	switch h {
+	case Base:
+		return "BASE"
+	case IBC:
+		return "IBC"
+	case IPBC:
+		return "IPBC"
+	}
+	return fmt.Sprintf("Heuristic(%d)", int(h))
+}
+
+// Options configures one scheduling run.
+type Options struct {
+	// Heuristic is the memory cluster-assignment policy.
+	Heuristic Heuristic
+	// ChainOf maps instruction IDs to chain IDs (-1 for non-memory).
+	// Required for IBC and IPBC unless NoChains is set.
+	ChainOf func(id int) int
+	// Preferred maps a memory instruction ID to its target cluster under
+	// IPBC (already averaged over its chain by the caller). Ignored by
+	// BASE and IBC.
+	Preferred func(id int) int
+	// NoChains disables the chain constraint (the Figure 4/7 ablation
+	// "without memory dependent chains": memory instructions are freely
+	// scheduled in their preferred cluster).
+	NoChains bool
+	// MaxII bounds the II search; 0 means MII + 256.
+	MaxII int
+}
+
+// Placement locates one instruction in the schedule.
+type Placement struct {
+	// Cycle is the absolute issue cycle within the flat schedule.
+	Cycle int
+	// Cluster is the executing cluster.
+	Cluster int
+}
+
+// Copy is an explicit inter-cluster register communication.
+type Copy struct {
+	// From and To are the producer and consumer instruction IDs.
+	From, To int
+	// FromCluster and ToCluster are the endpoints.
+	FromCluster, ToCluster int
+	// Cycle is the absolute cycle the transfer starts.
+	Cycle int
+}
+
+// Schedule is a complete modulo schedule of one loop.
+type Schedule struct {
+	// Loop is the scheduled loop.
+	Loop *ir.Loop
+	// Assigned is the latency vector the schedule was built against.
+	Assigned []int
+	// II is the initiation interval.
+	II int
+	// SC is the stage count (number of overlapped iterations).
+	SC int
+	// Place locates each instruction (indexed by ID).
+	Place []Placement
+	// Copies are the inserted inter-cluster communications.
+	Copies []Copy
+	// MII is the lower bound the search started from.
+	MII int
+}
+
+// Clusters returns the number of clusters used (max cluster index + 1 is not
+// meaningful; this returns the config value captured at scheduling time).
+func (s *Schedule) clusterCount() int {
+	max := 0
+	for _, p := range s.Place {
+		if p.Cluster > max {
+			max = p.Cluster
+		}
+	}
+	return max + 1
+}
+
+// WorkloadBalance returns the §5.2 balance metric of the schedule:
+// instructions in the most loaded cluster over total instructions, a value
+// in [1/N, 1] where 1/N is perfect balance.
+func (s *Schedule) WorkloadBalance(clusters int) float64 {
+	if len(s.Place) == 0 {
+		return 0
+	}
+	counts := make([]int, clusters)
+	for _, p := range s.Place {
+		counts[p.Cluster]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return float64(max) / float64(len(s.Place))
+}
+
+// ConsumerSlack returns, for a memory instruction, the number of cycles
+// between its issue and the earliest dependent register-flow consumer, in
+// schedule time (II-adjusted for loop-carried edges). This is the latency
+// the hardware can tolerate before stalling. Returns (slack, false) when the
+// instruction has no register-flow consumer (e.g. stores), meaning it never
+// stalls the pipeline.
+func (s *Schedule) ConsumerSlack(id int) (int, bool) {
+	slack, found := 0, false
+	for _, e := range s.Loop.Edges {
+		if e.Kind != ir.RegFlow || e.From != id {
+			continue
+		}
+		d := s.Place[e.To].Cycle + s.II*e.Distance - s.Place[id].Cycle
+		if !found || d < slack {
+			slack, found = d, true
+		}
+	}
+	return slack, found
+}
+
+// Scheduler carries the per-attempt state.
+type scheduler struct {
+	loop     *ir.Loop
+	g        *ir.Graph
+	cfg      arch.Config
+	assigned []int
+	order    []int
+	opt      Options
+
+	ii           int
+	place        []Placement
+	placed       []bool
+	fu           [][]int // [cluster][fuKind*ii + slot] usage count
+	bus          []int   // [slot] register-bus usage count
+	copies       []Copy
+	chainCluster map[int]int
+}
+
+// Run schedules the loop: the node order must come from sms.Order over the
+// same latency assignment. It returns an error only if no feasible schedule
+// exists within the II budget.
+func Run(l *ir.Loop, g *ir.Graph, cfg arch.Config, assigned []int, order []int, opt Options) (*Schedule, error) {
+	if opt.ChainOf == nil {
+		opt.ChainOf = func(int) int { return -1 }
+	}
+	if opt.Preferred == nil {
+		opt.Preferred = func(int) int { return 0 }
+	}
+	mii := ir.MII(g, cfg, assigned)
+	maxII := opt.MaxII
+	if maxII <= 0 {
+		maxII = mii + 256
+	}
+	for ii := mii; ii <= maxII; ii++ {
+		s := &scheduler{
+			loop: l, g: g, cfg: cfg, assigned: assigned, order: order, opt: opt, ii: ii,
+		}
+		if sched, ok := s.attempt(); ok {
+			sched.MII = mii
+			return sched, nil
+		}
+	}
+	return nil, fmt.Errorf("sched: no schedule for %s within II %d..%d", l.Name, mii, maxII)
+}
+
+// attempt tries to schedule every node at the current II.
+func (s *scheduler) attempt() (*Schedule, bool) {
+	n := len(s.loop.Instrs)
+	s.place = make([]Placement, n)
+	s.placed = make([]bool, n)
+	s.fu = make([][]int, s.cfg.Clusters)
+	for c := range s.fu {
+		s.fu[c] = make([]int, int(arch.NumFUKinds)*s.ii)
+	}
+	s.bus = make([]int, s.ii)
+	s.copies = nil
+	s.chainCluster = map[int]int{}
+
+	for _, v := range s.order {
+		if !s.scheduleNode(v) {
+			return nil, false
+		}
+	}
+	// Bottom-up placement can produce negative cycles; normalize so the
+	// schedule starts at a stage boundary (shifting by a multiple of II
+	// keeps the modulo reservation tables valid).
+	minCycle, maxCycle := s.place[s.order[0]].Cycle, s.place[s.order[0]].Cycle
+	for _, p := range s.place {
+		if p.Cycle < minCycle {
+			minCycle = p.Cycle
+		}
+		if p.Cycle > maxCycle {
+			maxCycle = p.Cycle
+		}
+	}
+	shift := 0
+	for minCycle+shift < 0 {
+		shift += s.ii
+	}
+	if shift > 0 {
+		for i := range s.place {
+			s.place[i].Cycle += shift
+		}
+		for i := range s.copies {
+			s.copies[i].Cycle += shift
+		}
+		maxCycle += shift
+	}
+	return &Schedule{
+		Loop:     s.loop,
+		Assigned: s.assigned,
+		II:       s.ii,
+		SC:       maxCycle/s.ii + 1,
+		Place:    s.place,
+		Copies:   s.copies,
+	}, true
+}
+
+// scheduleNode places one instruction, trying candidate clusters in
+// preference order and cycles within an II-wide window: upward from the
+// earliest start when predecessors are placed, downward from the latest
+// start when only successors are (bottom-up sweeps of the swing order), and
+// upward from cycle 0 for seeds.
+func (s *scheduler) scheduleNode(v int) bool {
+	for _, c := range s.candidateClusters(v) {
+		est, lst, hasPred, hasSucc, ok := s.window(v, c)
+		if !ok {
+			continue
+		}
+		var cycles []int
+		switch {
+		case hasPred:
+			hi := est + s.ii - 1
+			if hasSucc && lst < hi {
+				hi = lst
+			}
+			for t := est; t <= hi; t++ {
+				cycles = append(cycles, t)
+			}
+		case hasSucc:
+			for t := lst; t > lst-s.ii; t-- {
+				cycles = append(cycles, t)
+			}
+		default:
+			for t := 0; t < s.ii; t++ {
+				cycles = append(cycles, t)
+			}
+		}
+		for _, t := range cycles {
+			if s.tryPlace(v, c, t) {
+				if ch := s.chainID(v); ch >= 0 {
+					if _, bound := s.chainCluster[ch]; !bound {
+						s.chainCluster[ch] = c
+					}
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// chainID returns the chain of v if chain constraints apply to it.
+func (s *scheduler) chainID(v int) int {
+	if s.opt.Heuristic == Base || s.opt.NoChains || !s.loop.Instrs[v].IsMem() {
+		return -1
+	}
+	return s.opt.ChainOf(v)
+}
+
+// candidateClusters returns the clusters to try for v, most preferred first.
+func (s *scheduler) candidateClusters(v int) []int {
+	in := s.loop.Instrs[v]
+
+	// Chain-bound memory instructions have no choice.
+	if ch := s.chainID(v); ch >= 0 {
+		if c, bound := s.chainCluster[ch]; bound {
+			return []int{c}
+		}
+		if s.opt.Heuristic == IPBC {
+			return []int{s.opt.Preferred(v)}
+		}
+	} else if in.IsMem() && s.opt.Heuristic == IPBC {
+		// NoChains ablation: free scheduling in the preferred cluster.
+		return []int{s.opt.Preferred(v)}
+	}
+
+	// Order all clusters by (fewest new communications, best balance).
+	type cand struct {
+		c    int
+		comm int // register-flow neighbors placed in other clusters
+		load int // instructions already placed in c
+	}
+	cands := make([]cand, s.cfg.Clusters)
+	loads := make([]int, s.cfg.Clusters)
+	for i, p := range s.place {
+		if s.placed[i] {
+			loads[p.Cluster]++
+		}
+	}
+	for c := 0; c < s.cfg.Clusters; c++ {
+		comm := 0
+		for _, e := range s.loop.Edges {
+			if e.Kind != ir.RegFlow {
+				continue
+			}
+			switch {
+			case e.From == v && e.To != v && s.placed[e.To] && s.place[e.To].Cluster != c:
+				comm++
+			case e.To == v && e.From != v && s.placed[e.From] && s.place[e.From].Cluster != c:
+				comm++
+			}
+		}
+		cands[c] = cand{c: c, comm: comm, load: loads[c]}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].comm != cands[j].comm {
+			return cands[i].comm < cands[j].comm
+		}
+		if cands[i].load != cands[j].load {
+			return cands[i].load < cands[j].load
+		}
+		return cands[i].c < cands[j].c
+	})
+	out := make([]int, len(cands))
+	for i, cd := range cands {
+		out[i] = cd.c
+	}
+	return out
+}
+
+// window computes the earliest and latest feasible issue cycle of v in
+// cluster c from its already-placed neighbors, including inter-cluster
+// communication latency on register-flow edges. Cycles may be negative;
+// hasPred/hasSucc report whether any placed neighbor constrains each side.
+func (s *scheduler) window(v, c int) (est, lst int, hasPred, hasSucc, ok bool) {
+	const inf = 1 << 30
+	est, lst = -inf, inf
+	for _, e := range s.loop.Edges {
+		if e.To == v && e.From != v && s.placed[e.From] {
+			if e.Kind == ir.RegAnti && s.place[e.From].Cluster != c {
+				continue // different register files: no constraint
+			}
+			lat := s.loop.EdgeLatency(e, s.assigned)
+			if e.Kind == ir.RegFlow && s.place[e.From].Cluster != c {
+				lat += s.cfg.CommLatency()
+			}
+			if t := s.place[e.From].Cycle + lat - s.ii*e.Distance; t > est {
+				est = t
+			}
+			hasPred = true
+		}
+		if e.From == v && e.To != v && s.placed[e.To] {
+			if e.Kind == ir.RegAnti && s.place[e.To].Cluster != c {
+				continue
+			}
+			lat := s.loop.EdgeLatency(e, s.assigned)
+			if e.Kind == ir.RegFlow && s.place[e.To].Cluster != c {
+				lat += s.cfg.CommLatency()
+			}
+			if t := s.place[e.To].Cycle - lat + s.ii*e.Distance; t < lst {
+				lst = t
+			}
+			hasSucc = true
+		}
+	}
+	return est, lst, hasPred, hasSucc, !(hasPred && hasSucc && est > lst)
+}
+
+// tryPlace attempts to commit v to (cluster c, cycle t): the functional unit
+// must be free and every cross-cluster register-flow edge to an
+// already-placed neighbor must find a bus slot. On success all reservations
+// are made.
+func (s *scheduler) tryPlace(v, c, t int) bool {
+	kind := ir.FUFor(s.loop.Instrs[v].Class)
+	slot := int(kind)*s.ii + mod(t, s.ii)
+	if s.fu[c][slot] >= s.cfg.FUsPerCluster[kind] {
+		return false
+	}
+
+	// Plan the copies this placement needs.
+	type plan struct{ copyOp Copy }
+	var plans []plan
+	busDelta := make(map[int]int)
+	reserveBus := func(from, lo, hi int) (int, bool) {
+		// Find the earliest start in [lo, hi] with a free bus for
+		// BusCycleRatio consecutive modulo slots.
+		for tc := lo; tc <= hi; tc++ {
+			free := true
+			for k := 0; k < s.cfg.BusCycleRatio; k++ {
+				sl := mod(tc+k, s.ii)
+				if s.bus[sl]+busDelta[sl] >= s.cfg.RegBuses {
+					free = false
+					break
+				}
+			}
+			if free {
+				for k := 0; k < s.cfg.BusCycleRatio; k++ {
+					busDelta[mod(tc+k, s.ii)]++
+				}
+				return tc, true
+			}
+		}
+		return 0, false
+	}
+
+	for _, e := range s.loop.Edges {
+		if e.Kind != ir.RegFlow {
+			continue
+		}
+		switch {
+		case e.To == v && e.From != v && s.placed[e.From] && s.place[e.From].Cluster != c:
+			p := e.From
+			lo := s.place[p].Cycle + s.assigned[p] - s.ii*e.Distance
+			hi := t - s.cfg.CommLatency()
+			tc, ok := reserveBus(p, lo, hi)
+			if !ok {
+				return false
+			}
+			plans = append(plans, plan{Copy{From: p, To: v, FromCluster: s.place[p].Cluster, ToCluster: c, Cycle: tc}})
+		case e.From == v && e.To != v && s.placed[e.To] && s.place[e.To].Cluster != c:
+			cons := e.To
+			lo := t + s.assigned[v]
+			hi := s.place[cons].Cycle + s.ii*e.Distance - s.cfg.CommLatency()
+			tc, ok := reserveBus(v, lo, hi)
+			if !ok {
+				return false
+			}
+			plans = append(plans, plan{Copy{From: v, To: cons, FromCluster: c, ToCluster: s.place[cons].Cluster, Cycle: tc}})
+		}
+	}
+
+	// Commit.
+	s.fu[c][slot]++
+	for sl, d := range busDelta {
+		s.bus[sl] += d
+	}
+	for _, p := range plans {
+		s.copies = append(s.copies, p.copyOp)
+	}
+	s.place[v] = Placement{Cycle: t, Cluster: c}
+	s.placed[v] = true
+	return true
+}
+
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

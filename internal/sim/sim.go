@@ -1,0 +1,290 @@
+// Package sim is the cycle-level simulator of the clustered VLIW kernel. It
+// executes a modulo schedule for a given trip count against one of the
+// memory-hierarchy models, with:
+//
+//   - a lock-step VLIW stall model: an access whose actual latency exceeds
+//     the schedule's tolerance (the distance to its earliest register-flow
+//     consumer) stalls the whole machine for the difference — "stall time is
+//     basically due to memory instructions that have been scheduled too
+//     close to their consumers" (§5.3);
+//   - MSHR-style combining for the interleaved cache: an access to a
+//     subblock with an outstanding request is not re-issued (the paper's
+//     "combined" class);
+//   - memory-bus and next-level port contention (buses at half the core
+//     frequency, transfers occupying BusCycleRatio cycles);
+//   - Attraction Buffer allocation controlled by per-instruction
+//     "attractable" hints (§5.2);
+//   - stall-cause attribution for the Figure 5 factor classification.
+package sim
+
+import (
+	"sort"
+
+	"ivliw/internal/addrspace"
+	"ivliw/internal/arch"
+	"ivliw/internal/cache"
+	"ivliw/internal/sched"
+	"ivliw/internal/stats"
+)
+
+// Meta carries the compiler-side annotations the simulator needs for stall
+// attribution and Attraction Buffer hints.
+type Meta struct {
+	// Preferred maps memory instruction IDs to their profiled preferred
+	// cluster (used for the "not in preferred" cause).
+	Preferred func(id int) int
+	// Dispersion maps memory instruction IDs to the concentration of
+	// their preferred-cluster information (1 = one cluster).
+	Dispersion func(id int) float64
+	// Attractable reports whether the instruction may allocate into the
+	// Attraction Buffer (the compiler's hint). Nil means all loads may.
+	Attractable func(id int) bool
+}
+
+// unclearThreshold is the dispersion below which preferred-cluster
+// information counts as "unclear" for Figure 5 attribution.
+const unclearThreshold = 0.75
+
+// RunLoop simulates `iters` kernel iterations of the schedule against the
+// hierarchy and returns the loop measurement (unscaled: Invocations is 1).
+// The hierarchy keeps its state so consecutive loops of a benchmark share
+// the L1 contents; Attraction Buffers are flushed on return (the coherence
+// rule for buffers between loops).
+func RunLoop(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
+	cfg arch.Config, hier cache.Hierarchy, iters int64, meta Meta) stats.Loop {
+
+	out := stats.Loop{
+		Name:        s.Loop.Name,
+		II:          s.II,
+		SC:          s.SC,
+		MII:         s.MII,
+		Copies:      len(s.Copies),
+		Balance:     s.WorkloadBalance(cfg.Clusters),
+		BodyInstrs:  len(s.Loop.Instrs),
+		Iters:       iters,
+		Invocations: 1,
+	}
+	defer hier.FlushBuffers()
+
+	mems := s.Loop.MemInstrs()
+	if len(mems) > 0 && iters > 0 {
+		runAccesses(s, lay, ds, cfg, hier, iters, meta, &out, mems)
+	}
+	out.ComputeCycles = int64(s.II) * (iters + int64(s.SC) - 1)
+	return out
+}
+
+type mshr struct {
+	completion int64
+}
+
+func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
+	cfg arch.Config, hier cache.Hierarchy, iters int64, meta Meta,
+	out *stats.Loop, mems []int) {
+
+	// Per-memory-instruction static info.
+	type memInfo struct {
+		id        int
+		cycle     int64 // issue offset within the flat schedule
+		cluster   int
+		store     bool
+		attract   bool
+		tolerance int64 // cycles before the earliest consumer needs the value
+		hasCons   bool
+	}
+	infos := make([]memInfo, 0, len(mems))
+	for _, id := range mems {
+		in := s.Loop.Instrs[id]
+		slack, has := s.ConsumerSlack(id)
+		attract := !in.Class.IsMem() || in.IsLoad()
+		if meta.Attractable != nil && !meta.Attractable(id) {
+			attract = false
+		}
+		if in.Mem.Gran > cfg.Interleave {
+			// Elements wider than the interleaving factor span two
+			// clusters; attracting half a value is useless.
+			attract = false
+		}
+		infos = append(infos, memInfo{
+			id:        id,
+			cycle:     int64(s.Place[id].Cycle),
+			cluster:   s.Place[id].Cluster,
+			store:     !in.IsLoad(),
+			attract:   attract && in.IsLoad(),
+			tolerance: int64(slack),
+			hasCons:   has,
+		})
+	}
+	// Software-pipelined iterations overlap: materialize every access of
+	// the run and process them in global issue order, or a store from
+	// stage 3 of iteration i would be seen before a stage-1 load of
+	// iteration i+1 and corrupt the bus/port occupancy model.
+	type event struct {
+		mi   *memInfo
+		iter int64
+		t    int64 // issue time before stall shifts
+	}
+	events := make([]event, 0, int(iters)*len(infos))
+	ii := int64(s.II)
+	for i := int64(0); i < iters; i++ {
+		for k := range infos {
+			events = append(events, event{mi: &infos[k], iter: i, t: infos[k].cycle + i*ii})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		if events[a].iter != events[b].iter {
+			return events[a].iter < events[b].iter
+		}
+		return events[a].mi.id < events[b].mi.id
+	})
+
+	interleaved := cfg.Org == arch.Interleaved
+	lats := cfg.MemLatencies()
+	busFree := make([]int64, cfg.MemBuses)
+	portFree := make([]int64, cfg.NextLevelPorts)
+	pending := map[int64]mshr{} // subblock key -> outstanding request
+
+	// acquire models queuing on a resource pool: the transfer starts when
+	// the earliest-free unit is available and holds it for `hold` cycles.
+	acquire := func(pool []int64, at int64, hold int64) int64 {
+		best := 0
+		for i := 1; i < len(pool); i++ {
+			if pool[i] < pool[best] {
+				best = i
+			}
+		}
+		start := at
+		if pool[best] > start {
+			start = pool[best]
+		}
+		pool[best] = start + hold
+		return start - at
+	}
+
+	busHold := int64(cfg.BusCycleRatio)
+	// Lock-step execution: accumulated stall delays every later issue, so
+	// oversubscribed buses throttle the machine instead of building
+	// unbounded queues.
+	stalled := int64(0)
+	{
+		for _, ev := range events {
+			mi, i := ev.mi, ev.iter
+			in := s.Loop.Instrs[mi.id]
+			t := ev.t + stalled
+			addr := lay.Addr(in, i, ds)
+			home := cfg.HomeCluster(addr)
+
+			var class stats.Class
+			var actual int64
+
+			// Combining: a second request to a subblock with an
+			// outstanding fill is not issued (interleaved only).
+			var sbKey int64
+			if interleaved {
+				sbKey = (addr/int64(cfg.BlockBytes))*int64(cfg.Clusters) + int64(home)
+				if p, ok := pending[sbKey]; ok && t < p.completion {
+					class = stats.Combined
+					actual = p.completion - t
+					out.Accesses[class]++
+					stalled += stallAndAttribute(out, mi.tolerance, mi.hasCons, actual, class, nil)
+					continue
+				}
+			}
+
+			r := hier.Access(mi.cluster, addr, mi.store, mi.attract)
+			if interleaved && in.Mem.Gran > cfg.Interleave {
+				// An element bigger than the interleaving factor
+				// always spans more than one cluster: the access
+				// can never be fully local (§5.2, mpeg2dec).
+				switch r.Class {
+				case arch.LocalHit:
+					r.Class = arch.RemoteHit
+				case arch.LocalMiss:
+					r.Class = arch.RemoteMiss
+				}
+			}
+			switch cfg.Org {
+			case arch.Unified:
+				if r.Class == arch.LocalHit {
+					class, actual = stats.LHit, int64(cfg.UnifiedHitLatency())
+				} else {
+					class, actual = stats.LMiss, int64(cfg.UnifiedMissLatency())
+					actual += acquire(portFree, t, busHold)
+				}
+			default:
+				if cfg.Org == arch.MultiVLIW && mi.store {
+					// Write-invalidate: every store broadcasts a
+					// snoop on the memory buses.
+					acquire(busFree, t, busHold)
+				}
+				switch r.Class {
+				case arch.LocalHit:
+					class, actual = stats.LHit, int64(lats[arch.LocalHit])
+				case arch.RemoteHit:
+					class, actual = stats.RHit, int64(lats[arch.RemoteHit])
+					actual += acquire(busFree, t, busHold)                // request
+					actual += acquire(busFree, t+actual-busHold, busHold) // reply
+				case arch.LocalMiss:
+					class, actual = stats.LMiss, int64(lats[arch.LocalMiss])
+					actual += acquire(portFree, t, busHold)
+				case arch.RemoteMiss:
+					class, actual = stats.RMiss, int64(lats[arch.RemoteMiss])
+					actual += acquire(busFree, t, busHold)
+					actual += acquire(portFree, t+busHold, busHold)
+				}
+				if interleaved && class != stats.LHit {
+					pending[sbKey] = mshr{completion: t + actual}
+				}
+			}
+			out.Accesses[class]++
+			var causes []stats.Cause
+			if class == stats.RHit {
+				causes = rhCauses(s, cfg, meta, mi.id, mi.cluster)
+			}
+			stalled += stallAndAttribute(out, mi.tolerance, mi.hasCons, actual, class, causes)
+		}
+	}
+}
+
+// stallAndAttribute charges max(0, actual − tolerance) stall cycles to the
+// class (and, for remote hits, to the Figure 5 causes) and returns the
+// charge. Accesses without register-flow consumers (stores) never stall.
+func stallAndAttribute(out *stats.Loop, tolerance int64, hasCons bool, actual int64,
+	class stats.Class, causes []stats.Cause) int64 {
+	if !hasCons {
+		return 0
+	}
+	st := actual - tolerance
+	if st <= 0 {
+		return 0
+	}
+	out.StallCycles += st
+	out.StallByClass[class] += st
+	for _, c := range causes {
+		out.StallCauses[c] += st
+	}
+	return st
+}
+
+// rhCauses classifies a stall-generating remote hit by the §5.2 factors.
+// Factors are not exclusive; all that apply are returned.
+func rhCauses(s *sched.Schedule, cfg arch.Config, meta Meta, id, cluster int) []stats.Cause {
+	in := s.Loop.Instrs[id]
+	var cs []stats.Cause
+	if in.Mem.Indirect || !in.Mem.StrideKnown || in.Mem.Stride%int64(cfg.NI()) != 0 {
+		cs = append(cs, stats.CauseMultiCluster)
+	}
+	if meta.Dispersion != nil && meta.Dispersion(id) < unclearThreshold {
+		cs = append(cs, stats.CauseUnclearPref)
+	}
+	if meta.Preferred != nil && meta.Preferred(id) != cluster {
+		cs = append(cs, stats.CauseNotPreferred)
+	}
+	if in.Mem.Gran > cfg.Interleave {
+		cs = append(cs, stats.CauseGranularity)
+	}
+	return cs
+}

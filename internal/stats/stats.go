@@ -1,0 +1,273 @@
+// Package stats defines the measurement records produced by the simulator
+// and the aggregation used by the paper's figures: access classification
+// (Figure 4), stall time by access type (Figure 6) and by cause (Figure 5),
+// workload balance (Figure 7) and cycle counts split into compute and stall
+// time (Figure 8).
+package stats
+
+import "fmt"
+
+// Class classifies one dynamic memory access.
+type Class int
+
+const (
+	LHit Class = iota
+	RHit
+	LMiss
+	RMiss
+	Combined
+	NumClasses
+)
+
+// String returns the figure label of the class.
+func (c Class) String() string {
+	switch c {
+	case LHit:
+		return "local hits"
+	case RHit:
+		return "remote hits"
+	case LMiss:
+		return "local misses"
+	case RMiss:
+		return "remote misses"
+	case Combined:
+		return "combined"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Cause is one of the Figure 5 factors behind stall-generating remote hits.
+// The factors are not mutually exclusive: an access may be counted under
+// several causes.
+type Cause int
+
+const (
+	// CauseMultiCluster marks instructions that access more than one
+	// cluster (indirect accesses or strides not multiple of N·I).
+	CauseMultiCluster Cause = iota
+	// CauseUnclearPref marks instructions whose preferred-cluster
+	// information is spread among clusters.
+	CauseUnclearPref
+	// CauseNotPreferred marks instructions not scheduled in their
+	// preferred cluster.
+	CauseNotPreferred
+	// CauseGranularity marks accesses to elements bigger than the
+	// interleaving factor.
+	CauseGranularity
+	NumCauses
+)
+
+// String returns the figure label of the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseMultiCluster:
+		return "more than one cluster"
+	case CauseUnclearPref:
+		return "unclear preferred info"
+	case CauseNotPreferred:
+		return "not in preferred"
+	case CauseGranularity:
+		return "granularity"
+	}
+	return fmt.Sprintf("Cause(%d)", int(c))
+}
+
+// Loop is the full measurement of one scheduled, simulated loop.
+type Loop struct {
+	// Name is the loop name.
+	Name string
+	// II, SC and MII describe the schedule quality.
+	II, SC, MII int
+	// Copies is the number of inter-cluster communications per kernel
+	// iteration.
+	Copies int
+	// Balance is the workload-balance metric (1/N perfect .. 1 worst).
+	Balance float64
+	// BodyInstrs is the number of instructions of the scheduled body.
+	BodyInstrs int
+	// Iters is the simulated trip count, Invocations the multiplier
+	// applied to all counters for whole-benchmark totals.
+	Iters, Invocations int64
+
+	// Accesses counts dynamic accesses per class.
+	Accesses [NumClasses]int64
+	// StallByClass attributes stall cycles to the access class causing
+	// them.
+	StallByClass [NumClasses]int64
+	// StallCauses attributes remote-hit stall events to Figure 5 factors
+	// (multi-counted when several apply).
+	StallCauses [NumCauses]int64
+	// ComputeCycles and StallCycles split the loop's execution time.
+	ComputeCycles, StallCycles int64
+}
+
+// TotalCycles returns compute plus stall time.
+func (l *Loop) TotalCycles() int64 { return l.ComputeCycles + l.StallCycles }
+
+// TotalAccesses returns the dynamic access count over all classes.
+func (l *Loop) TotalAccesses() int64 {
+	var t int64
+	for _, v := range l.Accesses {
+		t += v
+	}
+	return t
+}
+
+// LocalHitRatio returns the fraction of accesses that are local hits.
+func (l *Loop) LocalHitRatio() float64 {
+	t := l.TotalAccesses()
+	if t == 0 {
+		return 0
+	}
+	return float64(l.Accesses[LHit]) / float64(t)
+}
+
+// Scale multiplies every extensive counter by the invocation count, turning
+// a single-invocation measurement into a whole-run contribution.
+func (l *Loop) Scale(invocations int64) {
+	l.Invocations = invocations
+	for i := range l.Accesses {
+		l.Accesses[i] *= invocations
+	}
+	for i := range l.StallByClass {
+		l.StallByClass[i] *= invocations
+	}
+	for i := range l.StallCauses {
+		l.StallCauses[i] *= invocations
+	}
+	l.ComputeCycles *= invocations
+	l.StallCycles *= invocations
+}
+
+// Bench aggregates the loops of one benchmark under one configuration.
+type Bench struct {
+	// Name is the benchmark name.
+	Name string
+	// Loops are the per-loop measurements (already scaled by invocation).
+	Loops []Loop
+}
+
+// TotalCycles sums compute and stall time over all loops.
+func (b *Bench) TotalCycles() int64 {
+	var t int64
+	for i := range b.Loops {
+		t += b.Loops[i].TotalCycles()
+	}
+	return t
+}
+
+// ComputeCycles sums compute time over all loops.
+func (b *Bench) ComputeCycles() int64 {
+	var t int64
+	for i := range b.Loops {
+		t += b.Loops[i].ComputeCycles
+	}
+	return t
+}
+
+// StallCycles sums stall time over all loops.
+func (b *Bench) StallCycles() int64 {
+	var t int64
+	for i := range b.Loops {
+		t += b.Loops[i].StallCycles
+	}
+	return t
+}
+
+// Accesses sums the access classification over all loops.
+func (b *Bench) Accesses() [NumClasses]int64 {
+	var out [NumClasses]int64
+	for i := range b.Loops {
+		for c, v := range b.Loops[i].Accesses {
+			out[c] += v
+		}
+	}
+	return out
+}
+
+// AccessShares returns the access classification as fractions of the total.
+func (b *Bench) AccessShares() [NumClasses]float64 {
+	acc := b.Accesses()
+	var total int64
+	for _, v := range acc {
+		total += v
+	}
+	var out [NumClasses]float64
+	if total == 0 {
+		return out
+	}
+	for c, v := range acc {
+		out[c] = float64(v) / float64(total)
+	}
+	return out
+}
+
+// StallByClass sums stall attribution over all loops.
+func (b *Bench) StallByClass() [NumClasses]int64 {
+	var out [NumClasses]int64
+	for i := range b.Loops {
+		for c, v := range b.Loops[i].StallByClass {
+			out[c] += v
+		}
+	}
+	return out
+}
+
+// StallCauses sums Figure 5 cause attribution over all loops.
+func (b *Bench) StallCauses() [NumCauses]int64 {
+	var out [NumCauses]int64
+	for i := range b.Loops {
+		for c, v := range b.Loops[i].StallCauses {
+			out[c] += v
+		}
+	}
+	return out
+}
+
+// LocalHitRatio returns the benchmark-wide local hit fraction.
+func (b *Bench) LocalHitRatio() float64 {
+	acc := b.Accesses()
+	var total int64
+	for _, v := range acc {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(acc[LHit]) / float64(total)
+}
+
+// WeightedBalance returns the whole-benchmark workload balance: the
+// arithmetic mean of loop balances weighted by each loop's share of
+// scheduled instructions × invocations (§5.2).
+func (b *Bench) WeightedBalance() float64 {
+	var num, den float64
+	for i := range b.Loops {
+		w := float64(b.Loops[i].BodyInstrs) * float64(maxI64(b.Loops[i].Invocations, 1))
+		num += w * b.Loops[i].Balance
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// AMean returns the arithmetic mean of a series (the paper's AMEAN bars).
+func AMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sample() Loop {
+	l := Loop{Name: "x", II: 4, SC: 2, Copies: 1, Balance: 0.3, BodyInstrs: 10, Iters: 100, Invocations: 1}
+	l.Accesses = [NumClasses]int64{60, 20, 10, 5, 5}
+	l.StallByClass = [NumClasses]int64{0, 40, 10, 0, 0}
+	l.StallCauses = [NumCauses]int64{30, 10, 20, 0}
+	l.ComputeCycles = 400
+	l.StallCycles = 50
+	return l
+}
+
+func TestLoopAccessors(t *testing.T) {
+	l := sample()
+	if l.TotalCycles() != 450 {
+		t.Errorf("TotalCycles = %d, want 450", l.TotalCycles())
+	}
+	if l.TotalAccesses() != 100 {
+		t.Errorf("TotalAccesses = %d, want 100", l.TotalAccesses())
+	}
+	if l.LocalHitRatio() != 0.6 {
+		t.Errorf("LocalHitRatio = %g, want 0.6", l.LocalHitRatio())
+	}
+}
+
+func TestScale(t *testing.T) {
+	l := sample()
+	l.Scale(5)
+	if l.TotalAccesses() != 500 || l.ComputeCycles != 2000 || l.StallCycles != 250 {
+		t.Errorf("Scale(5) wrong: %+v", l)
+	}
+	if l.Invocations != 5 {
+		t.Errorf("Invocations = %d", l.Invocations)
+	}
+	if l.StallCauses[CauseMultiCluster] != 150 {
+		t.Errorf("causes not scaled: %v", l.StallCauses)
+	}
+	// Intensive quantities unchanged.
+	if l.LocalHitRatio() != 0.6 || l.Balance != 0.3 || l.II != 4 {
+		t.Error("Scale changed intensive quantities")
+	}
+}
+
+func TestBenchAggregation(t *testing.T) {
+	a, b := sample(), sample()
+	b.Accesses = [NumClasses]int64{0, 100, 0, 0, 0}
+	b.ComputeCycles, b.StallCycles = 100, 100
+	bench := Bench{Name: "t", Loops: []Loop{a, b}}
+	if bench.TotalCycles() != 450+200 {
+		t.Errorf("TotalCycles = %d", bench.TotalCycles())
+	}
+	if bench.ComputeCycles() != 500 || bench.StallCycles() != 150 {
+		t.Errorf("compute/stall = %d/%d", bench.ComputeCycles(), bench.StallCycles())
+	}
+	acc := bench.Accesses()
+	if acc[LHit] != 60 || acc[RHit] != 120 {
+		t.Errorf("Accesses = %v", acc)
+	}
+	shares := bench.AccessShares()
+	if math.Abs(shares[LHit]-0.3) > 1e-12 {
+		t.Errorf("LHit share = %g, want 0.3", shares[LHit])
+	}
+	if math.Abs(bench.LocalHitRatio()-0.3) > 1e-12 {
+		t.Errorf("LocalHitRatio = %g", bench.LocalHitRatio())
+	}
+	if got := bench.StallByClass()[RHit]; got != 80 {
+		t.Errorf("StallByClass[RHit] = %d, want 80", got)
+	}
+	if got := bench.StallCauses()[CauseMultiCluster]; got != 60 {
+		t.Errorf("StallCauses = %d, want 60", got)
+	}
+}
+
+func TestWeightedBalance(t *testing.T) {
+	a := sample() // balance 0.3, 10 instrs, 1 invocation
+	b := sample()
+	b.Balance = 0.9
+	b.BodyInstrs = 30 // weight 3x
+	bench := Bench{Loops: []Loop{a, b}}
+	want := (0.3*10 + 0.9*30) / 40
+	if got := bench.WeightedBalance(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("WeightedBalance = %g, want %g", got, want)
+	}
+	empty := Bench{}
+	if empty.WeightedBalance() != 0 {
+		t.Error("empty bench balance must be 0")
+	}
+}
+
+func TestAMean(t *testing.T) {
+	if AMean(nil) != 0 {
+		t.Error("AMean(nil) != 0")
+	}
+	if got := AMean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("AMean = %g, want 2", got)
+	}
+}
+
+// TestShareSumProperty: access shares always sum to ~1 for nonempty access
+// vectors.
+func TestShareSumProperty(t *testing.T) {
+	f := func(a, b, c, d, e uint16) bool {
+		l := Loop{}
+		l.Accesses = [NumClasses]int64{int64(a), int64(b), int64(c), int64(d), int64(e)}
+		bench := Bench{Loops: []Loop{l}}
+		shares := bench.AccessShares()
+		sum := 0.0
+		for _, s := range shares {
+			sum += s
+		}
+		if l.TotalAccesses() == 0 {
+			return sum == 0
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LHit.String() != "local hits" || Combined.String() != "combined" {
+		t.Error("class names changed")
+	}
+	if CauseGranularity.String() != "granularity" || CauseMultiCluster.String() != "more than one cluster" {
+		t.Error("cause names changed")
+	}
+	if Class(99).String() == "" || Cause(99).String() == "" {
+		t.Error("out-of-range stringers empty")
+	}
+}

@@ -1,0 +1,94 @@
+package unroll
+
+import (
+	"sort"
+	"testing"
+
+	"ivliw/internal/addrspace"
+	"ivliw/internal/arch"
+	"ivliw/internal/ir"
+)
+
+// TestUnrollPreservesAddressStream: unrolling is only a re-packaging of
+// iterations — for strided accesses, the multiset of addresses produced by
+// k iterations of the loop unrolled u times must equal the addresses of k·u
+// iterations of the original loop.
+func TestUnrollPreservesAddressStream(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("l", 64, 1)
+	b.Load("a", ir.MemInfo{Sym: "a", Kind: ir.AllocHeap, Stride: 2, StrideKnown: true, Gran: 2, SymBytes: 1024})
+	b.Load("b", ir.MemInfo{Sym: "b", Kind: ir.AllocHeap, Offset: 8, Stride: 12, StrideKnown: true, Gran: 4, SymBytes: 1920})
+	b.Store("c", ir.MemInfo{Sym: "c", Kind: ir.AllocStack, Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 512})
+	orig := b.MustBuild()
+
+	for _, u := range []int{2, 4, 8, 16} {
+		un := Unroll(orig, u)
+		ds := addrspace.Dataset{Seed: 9, Aligned: true}
+		lay := addrspace.NewLayout([]*ir.Loop{orig}, cfg, ds)
+		layU := addrspace.NewLayout([]*ir.Loop{un}, cfg, ds)
+
+		const k = 8
+		var a1, a2 []int64
+		for i := int64(0); i < int64(k*u); i++ {
+			for _, in := range orig.Instrs {
+				a1 = append(a1, lay.Addr(in, i, ds))
+			}
+		}
+		for i := int64(0); i < int64(k); i++ {
+			for _, in := range un.Instrs {
+				a2 = append(a2, layU.Addr(in, i, ds))
+			}
+		}
+		sort.Slice(a1, func(i, j int) bool { return a1[i] < a1[j] })
+		sort.Slice(a2, func(i, j int) bool { return a2[i] < a2[j] })
+		if len(a1) != len(a2) {
+			t.Fatalf("u=%d: %d vs %d addresses", u, len(a1), len(a2))
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Fatalf("u=%d: address multiset differs at %d: %#x vs %#x", u, i, a1[i], a2[i])
+			}
+		}
+	}
+}
+
+// TestUnrollPreservesDependenceSemantics: for every unrolled edge, mapping
+// (copy, distance) back to original iteration space must recover an
+// original edge with the right source/sink and distance.
+func TestUnrollPreservesDependenceSemantics(t *testing.T) {
+	b := ir.NewBuilder("l", 64, 1)
+	ld := b.Load("ld", ir.MemInfo{Sym: "a", Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 1024})
+	op := b.Op("op", ir.OpIntALU)
+	st := b.Store("st", ir.MemInfo{Sym: "a", Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 1024})
+	b.Flow(ld, op).Flow(op, st)
+	b.MemEdge(st, ld, 2) // distance-2 loop-carried dependence
+	orig := b.MustBuild()
+
+	u := 4
+	un := Unroll(orig, u)
+	n := len(orig.Instrs)
+	// Count edges by original (from, to, kind) and check total distance
+	// conservation: each original edge appears u times and the sum of
+	// (distance*u + toCopy - fromCopy) equals u * original distance.
+	type ekey struct {
+		from, to int
+		kind     ir.DepKind
+	}
+	sumDist := map[ekey]int{}
+	count := map[ekey]int{}
+	for _, e := range un.Edges {
+		k := ekey{e.From % n, e.To % n, e.Kind}
+		fromCopy, toCopy := e.From/n, e.To/n
+		count[k]++
+		sumDist[k] += e.Distance*u + toCopy - fromCopy
+	}
+	for _, e := range orig.Edges {
+		k := ekey{e.From, e.To, e.Kind}
+		if count[k] != u {
+			t.Errorf("edge %v appears %d times, want %d", k, count[k], u)
+		}
+		if sumDist[k] != u*e.Distance {
+			t.Errorf("edge %v total distance %d, want %d", k, sumDist[k], u*e.Distance)
+		}
+	}
+}

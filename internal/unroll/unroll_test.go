@@ -1,0 +1,241 @@
+package unroll
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ivliw/internal/arch"
+	"ivliw/internal/ir"
+)
+
+func hit1(int) float64 { return 1 }
+
+func memInfo(stride int64, gran int) ir.MemInfo {
+	return ir.MemInfo{Sym: "a", Stride: stride, StrideKnown: true, Gran: gran, SymBytes: 1 << 16}
+}
+
+// TestIndividualFactorPaperCase: 4-byte elements, 4-byte interleaving, 4
+// clusters — the intro example of §4.3.1 Step 1 where the loop must be
+// unrolled 4 times so every access has stride N·I = 16.
+func TestIndividualFactorPaperCase(t *testing.T) {
+	cfg := arch.Default()
+	m := memInfo(4, 4)
+	u, ok := IndividualFactor(&m, cfg, 1)
+	if !ok || u != 4 {
+		t.Errorf("IndividualFactor(stride 4) = %d,%v, want 4,true", u, ok)
+	}
+}
+
+// TestIndividualFactorGsmdecCase: the §4.3.4 gsmdec operation with a 16-byte
+// stride already accesses a single cluster: Ui = 1.
+func TestIndividualFactorGsmdecCase(t *testing.T) {
+	cfg := arch.Default()
+	m := memInfo(16, 2)
+	u, ok := IndividualFactor(&m, cfg, 1)
+	if !ok || u != 1 {
+		t.Errorf("IndividualFactor(stride 16) = %d,%v, want 1,true", u, ok)
+	}
+}
+
+func TestIndividualFactorTable(t *testing.T) {
+	cfg := arch.Default() // N*I = 16
+	cases := []struct {
+		stride int64
+		want   int
+	}{
+		{1, 16}, {2, 8}, {4, 4}, {8, 2}, {16, 1}, {32, 1}, {12, 4}, {6, 8}, {24, 2}, {0, 1},
+	}
+	for _, c := range cases {
+		m := memInfo(c.stride, 1)
+		u, ok := IndividualFactor(&m, cfg, 1)
+		if !ok || u != c.want {
+			t.Errorf("IndividualFactor(stride %d) = %d,%v, want %d,true", c.stride, u, ok, c.want)
+		}
+	}
+}
+
+func TestIndividualFactorExclusions(t *testing.T) {
+	cfg := arch.Default()
+	// Unknown stride.
+	m := memInfo(4, 4)
+	m.StrideKnown = false
+	if _, ok := IndividualFactor(&m, cfg, 1); ok {
+		t.Error("unknown stride must be excluded")
+	}
+	// Zero hit rate.
+	m = memInfo(4, 4)
+	if _, ok := IndividualFactor(&m, cfg, 0); ok {
+		t.Error("zero hit rate must be excluded")
+	}
+	// Granularity larger than the interleaving factor (double precision).
+	m = memInfo(8, 8)
+	if _, ok := IndividualFactor(&m, cfg, 1); ok {
+		t.Error("granularity > interleave must be excluded")
+	}
+	// Indirect accesses.
+	m = memInfo(4, 4)
+	m.Indirect = true
+	if _, ok := IndividualFactor(&m, cfg, 1); ok {
+		t.Error("indirect accesses must be excluded")
+	}
+	// Nil.
+	if _, ok := IndividualFactor(nil, cfg, 1); ok {
+		t.Error("nil must be excluded")
+	}
+}
+
+// TestIndividualFactorProperty: the returned factor always makes the
+// unrolled stride a multiple of N·I.
+func TestIndividualFactorProperty(t *testing.T) {
+	cfg := arch.Default()
+	f := func(stride int16) bool {
+		s := int64(stride)
+		if s <= 0 {
+			s = -s + 1
+		}
+		m := memInfo(s, 1)
+		u, ok := IndividualFactor(&m, cfg, 1)
+		if !ok {
+			return true
+		}
+		return (s*int64(u))%int64(cfg.NI()) == 0 && u >= 1 && u <= cfg.NI()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOUFAndCandidates(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("l", 100, 1)
+	b.Load("a", memInfo(2, 2)) // Ui = 8
+	b.Load("b", memInfo(4, 4)) // Ui = 4
+	l := b.MustBuild()
+	if got := OUF(l, cfg, hit1); got != 8 {
+		t.Errorf("OUF = %d, want lcm(8,4) = 8", got)
+	}
+	cands := Candidates(l, cfg, hit1)
+	want := []int{1, 4, 8}
+	if len(cands) != len(want) {
+		t.Fatalf("Candidates = %v, want %v", cands, want)
+	}
+	for i := range want {
+		if cands[i] != want[i] {
+			t.Fatalf("Candidates = %v, want %v", cands, want)
+		}
+	}
+}
+
+func TestOUFCap(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("l", 100, 1)
+	b.Load("a", memInfo(1, 1))  // Ui = 16 = N*I cap
+	b.Load("b", memInfo(12, 4)) // Ui = 4
+	l := b.MustBuild()
+	if got := OUF(l, cfg, hit1); got != 16 {
+		t.Errorf("OUF = %d, want cap 16", got)
+	}
+}
+
+func buildStream(t *testing.T) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("stream", 400, 1)
+	ld := b.Load("ld", memInfo(4, 4))
+	add := b.Op("add", ir.OpIntALU)
+	st := b.Store("st", memInfo(4, 4))
+	b.Flow(ld, add).Flow(add, st)
+	b.MemEdge(st, ld, 1) // conservative store→load dependence
+	return b.MustBuild()
+}
+
+func TestUnrollStructure(t *testing.T) {
+	l := buildStream(t)
+	u := Unroll(l, 4)
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Instrs) != 12 {
+		t.Errorf("unrolled body has %d instrs, want 12", len(u.Instrs))
+	}
+	if len(u.Edges) != 4*len(l.Edges) {
+		t.Errorf("unrolled body has %d edges, want %d", len(u.Edges), 4*len(l.Edges))
+	}
+	if u.AvgIters != 100 {
+		t.Errorf("unrolled AvgIters = %d, want 100", u.AvgIters)
+	}
+	if u.Unroll != 4 {
+		t.Errorf("Unroll = %d, want 4", u.Unroll)
+	}
+	// Copy j of the load accesses offset 4j with stride 16.
+	for j := 0; j < 4; j++ {
+		in := u.Instrs[j*3]
+		if !in.IsLoad() {
+			t.Fatalf("instr %d is %v, want load", j*3, in.Class)
+		}
+		if in.Mem.Offset != int64(4*j) || in.Mem.Stride != 16 {
+			t.Errorf("copy %d: offset %d stride %d, want %d and 16", j, in.Mem.Offset, in.Mem.Stride, 4*j)
+		}
+	}
+}
+
+// TestUnrollLoopCarriedEdges: a distance-1 edge in the original becomes a
+// distance-0 edge to the next copy within the unrolled body, except the last
+// copy which wraps with distance 1.
+func TestUnrollLoopCarriedEdges(t *testing.T) {
+	l := buildStream(t)
+	u := Unroll(l, 4)
+	var wraps, inner int
+	for _, e := range u.Edges {
+		if e.Kind != ir.MemDep {
+			continue
+		}
+		switch e.Distance {
+		case 0:
+			inner++
+		case 1:
+			wraps++
+		default:
+			t.Errorf("unexpected distance %d", e.Distance)
+		}
+	}
+	if inner != 3 || wraps != 1 {
+		t.Errorf("mem edges: %d inner + %d wraps, want 3 + 1", inner, wraps)
+	}
+}
+
+func TestUnrollByOneClones(t *testing.T) {
+	l := buildStream(t)
+	u := Unroll(l, 1)
+	if len(u.Instrs) != len(l.Instrs) || u.Unroll != 1 {
+		t.Error("Unroll(1) must clone unchanged")
+	}
+	u.Instrs[0].Mem.Stride = 999
+	if l.Instrs[0].Mem.Stride == 999 {
+		t.Error("Unroll(1) must not share memory with the original")
+	}
+}
+
+// TestUnrolledStrideProperty: after OUF unrolling, every considered access
+// has a stride multiple of N·I, i.e. accesses one and only one cache module.
+func TestUnrolledStrideProperty(t *testing.T) {
+	cfg := arch.Default()
+	b := ir.NewBuilder("l", 1600, 1)
+	b.Load("a", memInfo(2, 2))
+	b.Load("b", memInfo(4, 4))
+	b.Load("c", memInfo(6, 2))
+	l := b.MustBuild()
+	ouf := OUF(l, cfg, hit1)
+	u := Unroll(l, ouf)
+	for _, in := range u.Instrs {
+		if in.Mem.Stride%int64(cfg.NI()) != 0 {
+			t.Errorf("%s: stride %d not a multiple of %d after OUF unrolling",
+				in.Name, in.Mem.Stride, cfg.NI())
+		}
+	}
+}
+
+func TestTexecEstimate(t *testing.T) {
+	if got := TexecEstimate(100, 3, 9); got != 102*9 {
+		t.Errorf("TexecEstimate = %d, want %d", got, 102*9)
+	}
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"testing"
+
+	"ivliw/internal/ir"
+)
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 14 {
+		t.Fatalf("suite has %d benchmarks, want 14 (Table 1)", len(suite))
+	}
+	want := []string{
+		"epicdec", "epicenc", "g721dec", "g721enc", "gsmdec", "gsmenc",
+		"jpegdec", "jpegenc", "mpeg2dec", "pegwitdec", "pegwitenc",
+		"pgpdec", "pgpenc", "rasta",
+	}
+	for i, b := range suite {
+		if b.Name != want[i] {
+			t.Errorf("bench %d = %s, want %s (Table 1 order)", i, b.Name, want[i])
+		}
+		if len(b.Loops) == 0 {
+			t.Errorf("%s has no loops", b.Name)
+		}
+		if b.ProfileSeed == b.ExecSeed {
+			t.Errorf("%s: profile and execution data sets share a seed", b.Name)
+		}
+		for _, ls := range b.Loops {
+			if err := ls.Loop.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", b.Name, ls.Loop.Name, err)
+			}
+			if ls.Invocations <= 0 {
+				t.Errorf("%s/%s: invocations %d", b.Name, ls.Loop.Name, ls.Invocations)
+			}
+			if ls.Loop.AvgIters < 8 {
+				t.Errorf("%s/%s: trip count %d below the paper's minimum of 8",
+					b.Name, ls.Loop.Name, ls.Loop.AvgIters)
+			}
+		}
+	}
+}
+
+// TestMainGranMatchesTable1 checks the dominant element sizes against the
+// paper's Table 1.
+func TestMainGranMatchesTable1(t *testing.T) {
+	want := map[string]int{
+		"epicdec": 4, "epicenc": 4, "g721dec": 2, "g721enc": 2,
+		"gsmdec": 2, "gsmenc": 2, "jpegdec": 1, "jpegenc": 4,
+		"mpeg2dec": 8, "pegwitdec": 2, "pegwitenc": 2,
+		"pgpdec": 4, "pgpenc": 4, "rasta": 4,
+	}
+	for _, b := range Suite() {
+		if b.MainGran != want[b.Name] {
+			t.Errorf("%s: main granularity %d, want %d", b.Name, b.MainGran, want[b.Name])
+		}
+	}
+}
+
+// TestCharacteristicStructures checks the paper-derived structural
+// properties: indirect accesses where §5.2 reports them, chains where they
+// matter, wide accesses in mpeg2dec, and the epicdec 19-memory-op loop.
+func TestCharacteristicStructures(t *testing.T) {
+	indirectBenches := map[string]bool{"jpegdec": true, "jpegenc": true, "pegwitdec": true, "pegwitenc": true}
+	chainBenches := map[string]bool{"epicdec": true, "pgpdec": true, "pgpenc": true, "rasta": true}
+	for _, b := range Suite() {
+		var indirect, memEdges, wide, mems int
+		maxChainLen := 0
+		for _, ls := range b.Loops {
+			chainSize := map[int]int{}
+			for _, in := range ls.Loop.Instrs {
+				if in.Mem == nil {
+					continue
+				}
+				mems++
+				if in.Mem.Indirect {
+					indirect++
+				}
+				if in.Mem.Gran > 4 {
+					wide++
+				}
+			}
+			for _, e := range ls.Loop.Edges {
+				if e.Kind == ir.MemDep {
+					memEdges++
+					chainSize[e.From]++
+				}
+			}
+			// Approximate chain length by memory instructions
+			// connected via MemDep edges in this loop.
+			seen := map[int]bool{}
+			for _, e := range ls.Loop.Edges {
+				if e.Kind == ir.MemDep {
+					seen[e.From] = true
+					seen[e.To] = true
+				}
+			}
+			if len(seen) > maxChainLen {
+				maxChainLen = len(seen)
+			}
+		}
+		if indirectBenches[b.Name] && indirect == 0 {
+			t.Errorf("%s: expected indirect accesses", b.Name)
+		}
+		if chainBenches[b.Name] && memEdges == 0 {
+			t.Errorf("%s: expected memory dependent chains", b.Name)
+		}
+		if b.Name == "mpeg2dec" && wide == 0 {
+			t.Error("mpeg2dec: expected 8-byte accesses")
+		}
+		if b.Name == "epicdec" && maxChainLen < 19 {
+			t.Errorf("epicdec: longest chain %d memory ops, want >= 19 (§5.2)", maxChainLen)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("gsmdec"); !ok {
+		t.Error("ByName(gsmdec) not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) found something")
+	}
+}
+
+// TestDeterministicGeneration: two Suite calls build identical loops.
+func TestDeterministicGeneration(t *testing.T) {
+	a, b := Suite(), Suite()
+	for i := range a {
+		for j := range a[i].Loops {
+			la, lb := a[i].Loops[j].Loop, b[i].Loops[j].Loop
+			if la.Name != lb.Name || len(la.Instrs) != len(lb.Instrs) || len(la.Edges) != len(lb.Edges) {
+				t.Fatalf("%s loop %d differs between generations", a[i].Name, j)
+			}
+			for k := range la.Instrs {
+				x, y := la.Instrs[k], lb.Instrs[k]
+				if x.Name != y.Name || x.Class != y.Class {
+					t.Fatalf("%s/%s instr %d differs", a[i].Name, la.Name, k)
+				}
+				if (x.Mem == nil) != (y.Mem == nil) {
+					t.Fatalf("%s/%s instr %d mem differs", a[i].Name, la.Name, k)
+				}
+				if x.Mem != nil && *x.Mem != *y.Mem {
+					t.Fatalf("%s/%s instr %d meminfo differs", a[i].Name, la.Name, k)
+				}
+			}
+		}
+	}
+}
+
+// TestAllLoopsSymbolsDisjointAcrossBenches: symbol names are namespaced per
+// benchmark so layouts never collide.
+func TestAllLoopsSymbolsDisjoint(t *testing.T) {
+	seen := map[string]string{}
+	for _, b := range Suite() {
+		for _, l := range b.AllLoops() {
+			for _, in := range l.Instrs {
+				if in.Mem == nil {
+					continue
+				}
+				if owner, ok := seen[in.Mem.Sym]; ok && owner != b.Name {
+					t.Errorf("symbol %s shared between %s and %s", in.Mem.Sym, owner, b.Name)
+				}
+				seen[in.Mem.Sym] = b.Name
+			}
+		}
+	}
+}
