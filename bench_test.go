@@ -117,6 +117,22 @@ func BenchmarkFigure8(b *testing.B) {
 	}
 }
 
+// BenchmarkRunSuite measures full-suite compile+simulate throughput for the
+// headline configuration through the parallel harness (the 14 benchmarks
+// fan across the worker pool; on one P it measures the serial pipeline).
+func BenchmarkRunSuite(b *testing.B) {
+	v := experiments.Interleaved("IPBC+AB", ivliw.IPBC, ivliw.Selective, true, true, false)
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunSuite(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != 14 {
+			b.Fatalf("suite returned %d benchmarks", len(out))
+		}
+	}
+}
+
 // BenchmarkCompile measures the compiler pipeline alone (no simulation) on
 // every loop of the suite under IPBC + selective unrolling.
 func BenchmarkCompile(b *testing.B) {

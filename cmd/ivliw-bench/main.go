@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 
 	"ivliw/internal/experiments"
@@ -20,7 +21,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ivliw-bench: ")
 	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, fig7, fig8, headlines or all")
+	workers := flag.Int("workers", 0, "worker pool size for the (benchmark × variant) grids (0: GOMAXPROCS)")
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	runners := map[string]func() error{
 		"table1": func() error {

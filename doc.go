@@ -39,4 +39,24 @@
 // cmd/ivliw-bench; per-figure drivers are exposed through the same module's
 // internal/experiments package and the top-level benchmarks in
 // bench_test.go.
+//
+// # Performance architecture
+//
+// The two hot paths — the compile-side recurrence-II search and the
+// simulate-side access stream — are engineered for throughput (see
+// PERFORMANCE.md for design notes and measured numbers):
+//
+//   - internal/ir compiles each cyclic SCC into a RecEngine once per graph:
+//     endpoints re-indexed, per-edge latency split into a fixed part plus a
+//     reference to the owning instruction's assigned latency, and scratch
+//     buffers reused, so the latency-assignment pass evaluates single-load
+//     perturbations incrementally (IIWithChange) with warm binary-search
+//     bounds instead of re-running Bellman-Ford over [1, ΣL] from scratch;
+//   - internal/sim streams memory accesses through a k-way merge over the
+//     per-instruction arithmetic progressions t = cycle + i·II instead of
+//     materializing and sorting the iters×mems event list;
+//   - internal/experiments fans the (benchmark × variant) grid of every
+//     figure across a bounded worker pool (GOMAXPROCS workers) with
+//     deterministic result ordering, so cmd/ivliw-bench scales with cores
+//     while emitting byte-identical reports.
 package ivliw

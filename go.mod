@@ -1,0 +1,3 @@
+module ivliw
+
+go 1.24

@@ -90,15 +90,19 @@ func RunBench(spec workload.BenchSpec, v Variant) (stats.Bench, error) {
 	return bench, nil
 }
 
-// RunSuite runs every benchmark of the suite under the variant.
+// RunSuite runs every benchmark of the suite under the variant, fanning the
+// benchmarks across the worker pool.
 func RunSuite(v Variant) (map[string]stats.Bench, error) {
-	out := map[string]stats.Bench{}
-	for _, spec := range workload.Suite() {
-		b, err := RunBench(spec, v)
-		if err != nil {
-			return nil, err
-		}
-		out[spec.Name] = b
+	suite := workload.Suite()
+	res, err := runCells(len(suite), func(i int) (stats.Bench, error) {
+		return RunBench(suite[i], v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]stats.Bench, len(suite))
+	for i, b := range res {
+		out[suite[i].Name] = b
 	}
 	return out, nil
 }
@@ -140,19 +144,21 @@ func Fig4Variants() []Variant {
 }
 
 // Figure4 computes the memory access classification of every benchmark
-// under the four IPBC variants, plus the AMEAN row.
+// under the four IPBC variants, plus the AMEAN row. The (benchmark ×
+// variant) cells run on the worker pool.
 func Figure4() ([]Fig4Row, error) {
 	variants := Fig4Variants()
-	rows := make([]Fig4Row, 0, 15)
+	suite := workload.Suite()
+	cells, err := benchCells(suite, variants)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig4Row, 0, len(suite)+1)
 	sums := make([][stats.NumClasses]float64, len(variants))
-	for _, spec := range workload.Suite() {
+	for bi, spec := range suite {
 		row := Fig4Row{Bench: spec.Name}
 		for vi, v := range variants {
-			b, err := RunBench(spec, v)
-			if err != nil {
-				return nil, err
-			}
-			shares := b.AccessShares()
+			shares := cells[bi][vi].AccessShares()
 			row.Bars = append(row.Bars, Fig4Bar{Variant: v.Label, Shares: shares})
 			for c := range shares {
 				sums[vi][c] += shares[c]
@@ -160,7 +166,7 @@ func Figure4() ([]Fig4Row, error) {
 		}
 		rows = append(rows, row)
 	}
-	n := float64(len(workload.Suite()))
+	n := float64(len(suite))
 	mean := Fig4Row{Bench: "AMEAN"}
 	for vi, v := range variants {
 		var bar Fig4Bar
@@ -189,21 +195,20 @@ type Fig5Row struct {
 // Figure5 classifies stall-generating remote hits under selective unrolling
 // for IBC and IPBC (no Attraction Buffers).
 func Figure5() ([]Fig5Row, error) {
-	vIBC := Interleaved("IBC", sched.IBC, core.Selective, true, false, false)
-	vIPBC := Interleaved("IPBC", sched.IPBC, core.Selective, true, false, false)
-	var rows []Fig5Row
-	for _, spec := range workload.Suite() {
-		bi, err := RunBench(spec, vIBC)
-		if err != nil {
-			return nil, err
-		}
-		bp, err := RunBench(spec, vIPBC)
-		if err != nil {
-			return nil, err
-		}
+	variants := []Variant{
+		Interleaved("IBC", sched.IBC, core.Selective, true, false, false),
+		Interleaved("IPBC", sched.IPBC, core.Selective, true, false, false),
+	}
+	suite := workload.Suite()
+	cells, err := benchCells(suite, variants)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig5Row, 0, len(suite))
+	for bi, spec := range suite {
 		row := Fig5Row{Bench: spec.Name}
-		row.IBC, row.IBCTot = causeShares(bi)
-		row.IPBC, row.IPBCTo = causeShares(bp)
+		row.IBC, row.IBCTot = causeShares(cells[bi][0])
+		row.IPBC, row.IPBCTo = causeShares(cells[bi][1])
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -253,17 +258,19 @@ func Fig6Variants() []Variant {
 // AMEAN row (normalized stall means).
 func Figure6() ([]Fig6Row, error) {
 	variants := Fig6Variants()
-	var rows []Fig6Row
+	suite := workload.Suite()
+	cells, err := benchCells(suite, variants)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig6Row, 0, len(suite)+1)
 	sums := make([]float64, len(variants))
 	counted := 0
-	for _, spec := range workload.Suite() {
+	for bi, spec := range suite {
 		row := Fig6Row{Bench: spec.Name}
 		var base int64
 		for vi, v := range variants {
-			b, err := RunBench(spec, v)
-			if err != nil {
-				return nil, err
-			}
+			b := cells[bi][vi]
 			bar := Fig6Bar{Variant: v.Label, StallByClass: b.StallByClass()}
 			if vi == 0 {
 				base = b.StallCycles()
@@ -312,18 +319,18 @@ func Figure7() ([]Fig7Row, error) {
 		Interleaved("IPBC OUF", sched.IPBC, core.OUFUnroll, true, false, false),
 		Interleaved("IPBC OUF no-chains", sched.IPBC, core.OUFUnroll, true, false, true),
 	}
-	var rows []Fig7Row
-	for _, spec := range workload.Suite() {
-		var vals [3]float64
-		for vi, v := range variants {
-			b, err := RunBench(spec, v)
-			if err != nil {
-				return nil, err
-			}
-			vals[vi] = b.WeightedBalance()
-		}
+	suite := workload.Suite()
+	cells, err := benchCells(suite, variants)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig7Row, 0, len(suite))
+	for bi, spec := range suite {
 		rows = append(rows, Fig7Row{
-			Bench: spec.Name, NoUnroll: vals[0], OUF: vals[1], OUFNoChains: vals[2],
+			Bench:       spec.Name,
+			NoUnroll:    cells[bi][0].WeightedBalance(),
+			OUF:         cells[bi][1].WeightedBalance(),
+			OUFNoChains: cells[bi][2].WeightedBalance(),
 		})
 	}
 	return rows, nil
@@ -364,20 +371,19 @@ func Fig8Variants() []Variant {
 // unified cache with 1-cycle latency, plus the AMEAN row.
 func Figure8() ([]Fig8Row, error) {
 	variants := Fig8Variants()
-	base := UnifiedVariant(1)
-	var rows []Fig8Row
+	// The Unified(L=1) baseline rides along as cell 0 of every row.
+	withBase := append([]Variant{UnifiedVariant(1)}, variants...)
+	suite := workload.Suite()
+	cells, err := benchCells(suite, withBase)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig8Row, 0, len(suite)+1)
 	sums := make([]float64, len(variants))
-	for _, spec := range workload.Suite() {
-		bb, err := RunBench(spec, base)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig8Row{Bench: spec.Name, Baseline: bb.TotalCycles()}
+	for bi, spec := range suite {
+		row := Fig8Row{Bench: spec.Name, Baseline: cells[bi][0].TotalCycles()}
 		for vi, v := range variants {
-			b, err := RunBench(spec, v)
-			if err != nil {
-				return nil, err
-			}
+			b := cells[bi][vi+1]
 			fb := Fig8Bar{
 				Variant:    v.Label,
 				Absolute:   b.TotalCycles(),
@@ -393,7 +399,7 @@ func Figure8() ([]Fig8Row, error) {
 		}
 		rows = append(rows, row)
 	}
-	n := float64(len(workload.Suite()))
+	n := float64(len(suite))
 	mean := Fig8Row{Bench: "AMEAN"}
 	for vi, v := range variants {
 		mean.Bars = append(mean.Bars, Fig8Bar{Variant: v.Label, Compute: sums[vi] / n})
@@ -534,24 +540,34 @@ type SweepRow struct {
 // characteristics") over the given benchmarks. Factors must divide the
 // block size evenly across clusters.
 func InterleaveSweep(benches []string, factors []int) ([]SweepRow, error) {
-	var rows []SweepRow
-	for _, name := range benches {
+	// Resolve and validate the whole grid up front so the parallel fan-out
+	// reports configuration errors deterministically, before any cell runs.
+	specs := make([]workload.BenchSpec, len(benches))
+	for i, name := range benches {
 		spec, ok := workload.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
 		}
+		specs[i] = spec
+	}
+	variants := make([]Variant, len(factors))
+	for i, f := range factors {
+		v := Interleaved(fmt.Sprintf("IF=%d", f), sched.IPBC, core.Selective, true, true, false)
+		v.Cfg.Interleave = f
+		if err := v.Cfg.Validate(); err != nil {
+			return nil, err
+		}
+		variants[i] = v
+	}
+	cells, err := benchCells(specs, variants)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SweepRow, 0, len(benches))
+	for bi, name := range benches {
 		row := SweepRow{Bench: name, Cycles: map[int]int64{}}
-		for _, f := range factors {
-			v := Interleaved(fmt.Sprintf("IF=%d", f), sched.IPBC, core.Selective, true, true, false)
-			v.Cfg.Interleave = f
-			if err := v.Cfg.Validate(); err != nil {
-				return nil, err
-			}
-			b, err := RunBench(spec, v)
-			if err != nil {
-				return nil, err
-			}
-			row.Cycles[f] = b.TotalCycles()
+		for fi, f := range factors {
+			row.Cycles[f] = cells[bi][fi].TotalCycles()
 			if row.Best == 0 || row.Cycles[f] < row.Cycles[row.Best] {
 				row.Best = f
 			}

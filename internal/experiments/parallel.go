@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ivliw/internal/stats"
+	"ivliw/internal/workload"
+)
+
+// runCells evaluates f over n independent cells — typically the (benchmark ×
+// variant) grid of a figure — on a bounded worker pool and returns the
+// results in cell order. Every cell compiles and simulates in isolation
+// (RunBench shares no mutable state), so the fan-out is embarrassingly
+// parallel; workers are capped at GOMAXPROCS, and with a single P the
+// harness degrades to the serial evaluation order. Results and errors are
+// deterministic regardless of scheduling: cell i's result lands in slot i,
+// and the reported error is the one from the lowest-indexed failing cell.
+func runCells[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			var err error
+			if out[i], err = f(i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Stop dispatching new cells once any cell has failed.
+				// Cells are handed out in ascending order, so every cell
+				// below the first failure still runs to completion and the
+				// lowest-indexed error below stays deterministic.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if out[i], errs[i] = f(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// benchCells runs every (benchmark, variant) cell of the grid in parallel
+// and returns the per-benchmark result rows in suite order: cells[b][v] is
+// benchmark b under variant v.
+func benchCells(suite []workload.BenchSpec, variants []Variant) ([][]stats.Bench, error) {
+	nv := len(variants)
+	flat, err := runCells(len(suite)*nv, func(i int) (stats.Bench, error) {
+		return RunBench(suite[i/nv], variants[i%nv])
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]stats.Bench, len(suite))
+	for b := range suite {
+		rows[b] = flat[b*nv : (b+1)*nv]
+	}
+	return rows, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ivliw/internal/workload"
+)
+
+func workloadByName(t *testing.T, name string) (workload.BenchSpec, bool) {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("benchmark %q missing", name)
+	}
+	return spec, ok
+}
+
+// TestRunCellsOrdering: results land in cell order no matter how the pool
+// schedules them.
+func TestRunCellsOrdering(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	n := 100
+	out, err := runCells(n, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("cell %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestRunCellsError: the reported error is the lowest-indexed failure,
+// deterministically, even when later cells also fail.
+func TestRunCellsError(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	want := errors.New("cell 7")
+	_, err := runCells(20, func(i int) (int, error) {
+		if i >= 7 {
+			return 0, fmt.Errorf("cell %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != want.Error() {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+// TestRunCellsSerial: a single-P pool must run the cells in order without
+// spawning workers.
+func TestRunCellsSerial(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	var seen []int
+	out, err := runCells(5, func(i int) (int, error) {
+		seen = append(seen, i)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != i || seen[i] != i {
+			t.Fatalf("out = %v, seen = %v", out, seen)
+		}
+	}
+}
+
+// TestRunSuiteMatchesRunBench: the parallel suite must agree cell-for-cell
+// with direct serial RunBench calls.
+func TestRunSuiteMatchesRunBench(t *testing.T) {
+	v := UnifiedVariant(5)
+	got, err := RunSuite(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(BenchNames()) {
+		t.Fatalf("suite returned %d benchmarks", len(got))
+	}
+	for _, name := range []string{"gsmdec", "epicdec"} {
+		spec, _ := workloadByName(t, name)
+		want, err := RunBench(spec, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb := got[name]
+		if gb.TotalCycles() != want.TotalCycles() {
+			t.Errorf("%s: parallel total %d != serial %d", name, gb.TotalCycles(), want.TotalCycles())
+		}
+	}
+}

@@ -7,9 +7,16 @@ type Graph struct {
 	Loop *Loop
 	// Out[v] and In[v] list edge indices leaving/entering v.
 	Out, In [][]int
+	// succs and preds are the distinct sorted neighbor lists, precomputed
+	// once so Succs/Preds are allocation-free.
+	succs, preds [][]int
+	// engines are the compiled recurrence evaluators, one per cyclic SCC
+	// in Tarjan discovery order.
+	engines []*RecEngine
 }
 
-// NewGraph builds the adjacency view of a loop.
+// NewGraph builds the adjacency view of a loop, precomputes the neighbor
+// lists and compiles a RecEngine for every cyclic SCC.
 func NewGraph(l *Loop) *Graph {
 	g := &Graph{
 		Loop: l,
@@ -20,14 +27,27 @@ func NewGraph(l *Loop) *Graph {
 		g.Out[e.From] = append(g.Out[e.From], i)
 		g.In[e.To] = append(g.In[e.To], i)
 	}
+	g.succs = make([][]int, len(l.Instrs))
+	g.preds = make([][]int, len(l.Instrs))
+	for v := range l.Instrs {
+		g.succs[v] = g.neighbors(g.Out[v], false)
+		g.preds[v] = g.neighbors(g.In[v], true)
+	}
+	for _, comp := range g.SCCs() {
+		if g.hasCycle(comp) {
+			g.engines = append(g.engines, NewRecEngine(g, comp))
+		}
+	}
 	return g
 }
 
-// Succs returns the distinct successor instruction IDs of v.
-func (g *Graph) Succs(v int) []int { return g.neighbors(g.Out[v], false) }
+// Succs returns the distinct successor instruction IDs of v in ascending
+// order. The slice is shared; callers must not modify it.
+func (g *Graph) Succs(v int) []int { return g.succs[v] }
 
-// Preds returns the distinct predecessor instruction IDs of v.
-func (g *Graph) Preds(v int) []int { return g.neighbors(g.In[v], true) }
+// Preds returns the distinct predecessor instruction IDs of v in ascending
+// order. The slice is shared; callers must not modify it.
+func (g *Graph) Preds(v int) []int { return g.preds[v] }
 
 func (g *Graph) neighbors(edges []int, from bool) []int {
 	seen := make(map[int]bool, len(edges))
@@ -46,6 +66,10 @@ func (g *Graph) neighbors(edges []int, from bool) []int {
 	sort.Ints(out)
 	return out
 }
+
+// RecEngines returns the compiled recurrence evaluators of the loop, one per
+// cyclic SCC in Tarjan discovery order.
+func (g *Graph) RecEngines() []*RecEngine { return g.engines }
 
 // SCCs returns the strongly connected components of the dependence graph in
 // Tarjan discovery order. Components are sorted internally by instruction ID.
@@ -124,11 +148,15 @@ func (g *Graph) SCCs() [][]int {
 // Recurrence is a cyclic strongly connected component of the DDG together
 // with its current initiation-interval lower bound.
 type Recurrence struct {
-	// Nodes are the member instruction IDs (sorted).
+	// Nodes are the member instruction IDs (sorted). Shared with the
+	// graph's engine; callers must not modify it.
 	Nodes []int
 	// II is the minimum initiation interval imposed by the recurrence for
 	// the latency vector passed to Recurrences/RecII.
 	II int
+	// Eng is the compiled evaluator for this recurrence, for incremental
+	// II queries during the latency-assignment search.
+	Eng *RecEngine
 }
 
 // Recurrences returns the true recurrences of the loop (SCCs that contain a
@@ -136,12 +164,9 @@ type Recurrence struct {
 // by decreasing II (most constraining first) with ties broken by smallest
 // member ID for determinism.
 func (g *Graph) Recurrences(assigned []int) []Recurrence {
-	var recs []Recurrence
-	for _, comp := range g.SCCs() {
-		if !g.hasCycle(comp) {
-			continue
-		}
-		recs = append(recs, Recurrence{Nodes: comp, II: g.RecII(comp, assigned)})
+	recs := make([]Recurrence, 0, len(g.engines))
+	for _, e := range g.engines {
+		recs = append(recs, Recurrence{Nodes: e.Nodes, II: e.II(assigned), Eng: e})
 	}
 	sort.SliceStable(recs, func(i, j int) bool {
 		if recs[i].II != recs[j].II {
@@ -173,6 +198,10 @@ func (g *Graph) hasCycle(comp []int) bool {
 // for every cycle, sum(latency) <= II * sum(distance). Computed by binary
 // search on II with a positive-cycle (Bellman-Ford) feasibility test, which
 // is exact without enumerating elementary circuits.
+//
+// RecII rebuilds the component view from all loop edges on every call; it is
+// retained as the naive reference implementation that the golden tests check
+// RecEngine against. Hot paths use the engines from RecEngines/Recurrences.
 func (g *Graph) RecII(nodes []int, assigned []int) int {
 	idx := make(map[int]int, len(nodes))
 	for i, v := range nodes {

@@ -51,9 +51,9 @@ func FUFor(c OpClass) arch.FUKind {
 // recurrences of the loop.
 func RecMII(g *Graph, assigned []int) int {
 	mii := 1
-	for _, r := range g.Recurrences(assigned) {
-		if r.II > mii {
-			mii = r.II
+	for _, e := range g.RecEngines() {
+		if ii := e.II(assigned); ii > mii {
+			mii = ii
 		}
 	}
 	return mii

@@ -127,27 +127,40 @@ func Assign(l *ir.Loop, g *ir.Graph, cfg arch.Config, ld Ladder, prof map[int]Me
 	assigned := l.DefaultLatencies(ld.Max())
 
 	// Target MII: the MII of the loop if all memory instructions had the
-	// smallest (local hit / hit) latency, also bounded by resources.
+	// smallest (local hit / hit) latency, also bounded by resources. The
+	// per-recurrence ideal IIs double as search floors for bestStep: no
+	// single-load lowering can take a recurrence below its all-minimum II.
 	ideal := l.DefaultLatencies(ld.Min())
-	target := ir.RecMII(g, ideal)
+	target := 1
+	floors := make(map[*ir.RecEngine]int, len(g.RecEngines()))
+	for _, eng := range g.RecEngines() {
+		ii := eng.II(ideal)
+		floors[eng] = ii
+		if ii > target {
+			target = ii
+		}
+	}
 	if res := ir.ResMII(l, cfg); res > target {
 		target = res
 	}
 
 	res := Result{Assigned: assigned, TargetMII: target}
 
+	// Recurrences are node-disjoint and a flow edge's latency belongs to
+	// its in-component producer, so steps applied to one recurrence never
+	// change another's II: the IIs computed here stay valid throughout.
 	recs := g.Recurrences(assigned)
 	for _, rec := range recs {
 		loads := recLoads(l, rec.Nodes)
 		if len(loads) == 0 {
 			continue
 		}
-		ii := g.RecII(rec.Nodes, assigned)
+		ii := rec.II
 		last := -1
 		for ii > target {
-			step, ok := bestStep(g, rec.Nodes, ld, prof, assigned, ii)
+			step, ok := bestStep(rec.Eng, loads, ld, prof, assigned, ii, floors[rec.Eng])
 			if !ok {
-				break // every load already at the minimum latency
+				break // no remaining change lowers the II
 			}
 			assigned[step.Instr] = step.To
 			ii -= step.DeltaII
@@ -157,7 +170,7 @@ func Assign(l *ir.Loop, g *ir.Graph, cfg arch.Config, ld Ladder, prof map[int]Me
 		// Slack re-absorption: raise the last changed load so the
 		// recurrence II equals the target and not less.
 		if last >= 0 && ii < target {
-			raised := raiseToTarget(g, rec.Nodes, assigned, last, ld.Max(), target)
+			raised := raiseToTarget(rec.Eng, assigned, last, ld.Max(), target)
 			if raised != assigned[last] {
 				res.Steps = append(res.Steps, Step{
 					Instr: last, From: assigned[last], To: raised, Slack: true,
@@ -182,21 +195,38 @@ func recLoads(l *ir.Loop, nodes []int) []int {
 }
 
 // bestStep evaluates the benefit function for every (load, lower latency)
-// pair of the recurrence and returns the winning change.
-func bestStep(g *ir.Graph, nodes []int, ld Ladder, prof map[int]MemProfile, assigned []int, curII int) (Step, bool) {
+// pair of the recurrence and returns the winning change. loads is the
+// recurrence's load list, computed once per recurrence by the caller; floor
+// is the recurrence's II with every load at the ladder minimum, a lower
+// bound no single-load lowering can beat.
+func bestStep(eng *ir.RecEngine, loads []int, ld Ladder, prof map[int]MemProfile, assigned []int, curII, floor int) (Step, bool) {
 	best := Step{B: math.Inf(-1)}
 	found := false
-	for _, m := range recLoads(g.Loop, nodes) {
+	for _, m := range loads {
 		cur := assigned[m]
 		p := prof[m] // zero value: hit rate 0, worst case
 		oldStall := ExpectedStall(ld, p, cur)
+		// The perturbed II is monotone in the latency and bounded above
+		// by curII, so along ascending candidates each result is a floor
+		// for the next, and once a candidate leaves the II at curII
+		// every larger candidate does too and needs no search. Ladders
+		// are expected ascending but nothing enforces it, so the chain
+		// resets whenever a candidate goes out of order.
+		newII := -1
+		lo := floor
+		prevLa := -1
 		for _, la := range ld {
 			if la >= cur {
 				continue
 			}
-			assigned[m] = la
-			newII := g.RecII(nodes, assigned)
-			assigned[m] = cur
+			if la < prevLa {
+				newII, lo = -1, floor
+			}
+			prevLa = la
+			if newII != curII {
+				newII = eng.IIWithChangeIn(assigned, m, la, curII, lo)
+				lo = newII
+			}
 			dII := curII - newII
 			dStall := ExpectedStall(ld, p, la) - oldStall
 			b := benefit(dII, dStall)
@@ -206,17 +236,11 @@ func bestStep(g *ir.Graph, nodes []int, ld Ladder, prof map[int]MemProfile, assi
 			}
 		}
 	}
+	// Give up when nothing was evaluated (every load at the minimum) or
+	// the winner leaves the II unchanged: lowering it would only add
+	// stall for no compute gain.
 	if !found || best.DeltaII <= 0 {
-		// No change lowers the II; pick the largest-benefit change
-		// anyway only if it strictly helps — otherwise give up.
-		if !found {
-			return Step{}, false
-		}
-		// All remaining candidates leave the II unchanged; lowering
-		// them would only add stall for no compute gain.
-		if best.DeltaII <= 0 {
-			return Step{}, false
-		}
+		return Step{}, false
 	}
 	return best, true
 }
@@ -248,19 +272,18 @@ func better(b float64, dII, instr, la int, cur Step) bool {
 }
 
 // raiseToTarget finds the largest latency in [assigned[last], maxLat] for
-// instruction `last` such that the recurrence II stays ≤ target.
-func raiseToTarget(g *ir.Graph, nodes []int, assigned []int, last, maxLat, target int) int {
+// instruction `last` such that the recurrence II stays ≤ target. The II
+// never needs to be computed: II ≤ target is exactly feasibility at the
+// target, one Bellman-Ford probe per latency probe.
+func raiseToTarget(eng *ir.RecEngine, assigned []int, last, maxLat, target int) int {
 	lo, hi := assigned[last], maxLat
-	saved := assigned[last]
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		assigned[last] = mid
-		if g.RecII(nodes, assigned) <= target {
+		if eng.FeasibleWithChange(assigned, last, mid, target) {
 			lo = mid
 		} else {
 			hi = mid - 1
 		}
 	}
-	assigned[last] = saved
 	return lo
 }

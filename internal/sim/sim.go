@@ -18,8 +18,6 @@
 package sim
 
 import (
-	"sort"
-
 	"ivliw/internal/addrspace"
 	"ivliw/internal/arch"
 	"ivliw/internal/cache"
@@ -78,20 +76,21 @@ type mshr struct {
 	completion int64
 }
 
+// memInfo is the per-memory-instruction static information of one run.
+type memInfo struct {
+	id        int
+	cycle     int64 // issue offset within the flat schedule
+	cluster   int
+	store     bool
+	attract   bool
+	tolerance int64 // cycles before the earliest consumer needs the value
+	hasCons   bool
+}
+
 func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
 	cfg arch.Config, hier cache.Hierarchy, iters int64, meta Meta,
 	out *stats.Loop, mems []int) {
 
-	// Per-memory-instruction static info.
-	type memInfo struct {
-		id        int
-		cycle     int64 // issue offset within the flat schedule
-		cluster   int
-		store     bool
-		attract   bool
-		tolerance int64 // cycles before the earliest consumer needs the value
-		hasCons   bool
-	}
 	infos := make([]memInfo, 0, len(mems))
 	for _, id := range mems {
 		in := s.Loop.Instrs[id]
@@ -115,31 +114,15 @@ func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
 			hasCons:   has,
 		})
 	}
-	// Software-pipelined iterations overlap: materialize every access of
-	// the run and process them in global issue order, or a store from
-	// stage 3 of iteration i would be seen before a stage-1 load of
-	// iteration i+1 and corrupt the bus/port occupancy model.
-	type event struct {
-		mi   *memInfo
-		iter int64
-		t    int64 // issue time before stall shifts
-	}
-	events := make([]event, 0, int(iters)*len(infos))
+	// Software-pipelined iterations overlap: accesses must be processed in
+	// global issue order, or a store from stage 3 of iteration i would be
+	// seen before a stage-1 load of iteration i+1 and corrupt the bus/port
+	// occupancy model. Each instruction's issue times form the arithmetic
+	// progression cycle + i·II, so instead of materializing and sorting the
+	// iters×mems event list, a k-way merge over the per-instruction streams
+	// yields the same (t, iter, id) order one event at a time.
 	ii := int64(s.II)
-	for i := int64(0); i < iters; i++ {
-		for k := range infos {
-			events = append(events, event{mi: &infos[k], iter: i, t: infos[k].cycle + i*ii})
-		}
-	}
-	sort.SliceStable(events, func(a, b int) bool {
-		if events[a].t != events[b].t {
-			return events[a].t < events[b].t
-		}
-		if events[a].iter != events[b].iter {
-			return events[a].iter < events[b].iter
-		}
-		return events[a].mi.id < events[b].mi.id
-	})
+	merge := newEventMerge(infos, iters, ii)
 
 	interleaved := cfg.Org == arch.Interleaved
 	lats := cfg.MemLatencies()
@@ -170,7 +153,7 @@ func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
 	// unbounded queues.
 	stalled := int64(0)
 	{
-		for _, ev := range events {
+		for ev, ok := merge.next(); ok; ev, ok = merge.next() {
 			mi, i := ev.mi, ev.iter
 			in := s.Loop.Instrs[mi.id]
 			t := ev.t + stalled
@@ -246,6 +229,91 @@ func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
 			}
 			stalled += stallAndAttribute(out, mi.tolerance, mi.hasCons, actual, class, causes)
 		}
+	}
+}
+
+// mergeEvent is one access in global issue order.
+type mergeEvent struct {
+	mi   *memInfo
+	iter int64
+	t    int64 // issue time before stall shifts
+}
+
+// eventMerge streams the accesses of a run in (t, iter, id) order by k-way
+// merging the per-instruction arithmetic progressions t = cycle + i·II,
+// holding one head per instruction in a binary min-heap instead of the full
+// iters×mems event list.
+type eventMerge struct {
+	infos []memInfo
+	iters int64
+	ii    int64
+	heap  []mergeHead
+}
+
+// mergeHead is the next pending access of instruction infos[k]. infos is in
+// ascending-ID order, so comparing k is comparing instruction IDs.
+type mergeHead struct {
+	t    int64
+	iter int64
+	k    int
+}
+
+func (a mergeHead) before(b mergeHead) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.iter != b.iter {
+		return a.iter < b.iter
+	}
+	return a.k < b.k
+}
+
+func newEventMerge(infos []memInfo, iters, ii int64) *eventMerge {
+	m := &eventMerge{infos: infos, iters: iters, ii: ii, heap: make([]mergeHead, len(infos))}
+	for k := range infos {
+		m.heap[k] = mergeHead{t: infos[k].cycle, iter: 0, k: k}
+	}
+	// Heapify: infos is sorted by cycle only incidentally, so establish
+	// the invariant explicitly.
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	return m
+}
+
+// next returns the globally next access, advancing its stream.
+func (m *eventMerge) next() (mergeEvent, bool) {
+	if len(m.heap) == 0 {
+		return mergeEvent{}, false
+	}
+	head := m.heap[0]
+	ev := mergeEvent{mi: &m.infos[head.k], iter: head.iter, t: head.t}
+	if head.iter+1 < m.iters {
+		m.heap[0] = mergeHead{t: head.t + m.ii, iter: head.iter + 1, k: head.k}
+	} else {
+		m.heap[0] = m.heap[len(m.heap)-1]
+		m.heap = m.heap[:len(m.heap)-1]
+	}
+	m.siftDown(0)
+	return ev, true
+}
+
+func (m *eventMerge) siftDown(i int) {
+	h := m.heap
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l].before(h[min]) {
+			min = l
+		}
+		if r < len(h) && h[r].before(h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
 	}
 }
 

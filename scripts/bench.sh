@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — tier-1 verify + perf snapshot.
+#
+# Runs the repo's tier-1 gate (go build + go test), go vet, and the
+# top-level figure benchmarks once (-benchtime=1x), then writes a
+# BENCH_<n>.json snapshot so successive PRs accumulate a performance
+# trajectory that is easy to diff.
+#
+# Usage: scripts/bench.sh [n]
+#   n: snapshot index (default: next unused BENCH_<n>.json in the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+n="${1:-}"
+if [[ -z "$n" ]]; then
+  n=1
+  while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
+fi
+out="BENCH_${n}.json"
+
+echo "== tier-1: go build ./... && go test ./... =="
+go build ./...
+tier1_start=$(date +%s.%N)
+go test ./... >/dev/null
+tier1_secs=$(echo "$(date +%s.%N) $tier1_start" | awk '{printf "%.2f", $1 - $2}')
+echo "tier-1 pass (${tier1_secs}s)"
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== benchmarks (1 iteration each) =="
+bench_raw=$(go test -bench . -benchtime=1x -run '^$' . | tee /dev/stderr)
+
+awk -v n="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v gover="$(go version | awk '{print $3}')" \
+    -v tier1="$tier1_secs" '
+BEGIN {
+  printf "{\n  \"snapshot\": %s,\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n", n, date, gover
+  printf "  \"tier1\": {\"status\": \"pass\", \"wall_seconds\": %s},\n", tier1
+  printf "  \"benchmarks\": [\n"
+  first = 1
+}
+/^Benchmark/ {
+  name = $1; iters = $2; ns = $3
+  raw = $0; gsub(/\\/, "\\\\", raw); gsub(/"/, "\\\"", raw); gsub(/\t/, " ", raw)
+  if (!first) printf ",\n"
+  first = 0
+  printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"raw\": \"%s\"}", name, iters, ns, raw
+}
+END { printf "\n  ]\n}\n" }
+' <<<"$bench_raw" >"$out"
+
+echo "wrote $out"
