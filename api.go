@@ -126,11 +126,18 @@ func WithoutAlignment() ProgramOption {
 	return func(pc *programConfig) { pc.aligned = false }
 }
 
-// NewProgram builds a Program over the given loops.
-func NewProgram(cfg Config, loops []*Loop, opts ...ProgramOption) *Program {
+// NewProgram builds a Program over the given loops. The configuration is
+// validated once here: a Program can only be constructed over a coherent
+// machine point, and an invalid point (for example one cell of a
+// design-space sweep) is reported as an error instead of a panic.
+func NewProgram(cfg Config, loops []*Loop, opts ...ProgramOption) (*Program, error) {
 	pc := programConfig{profileSeed: 1, execSeed: 2, aligned: true}
 	for _, o := range opts {
 		o(&pc)
+	}
+	hier, err := cache.New(cfg) // validates cfg
+	if err != nil {
+		return nil, err
 	}
 	profDS := addrspace.Dataset{Seed: pc.profileSeed, Aligned: pc.aligned}
 	execDS := addrspace.Dataset{Seed: pc.execSeed, Aligned: pc.aligned}
@@ -141,8 +148,8 @@ func NewProgram(cfg Config, loops []*Loop, opts ...ProgramOption) *Program {
 		execDS:  execDS,
 		profLay: addrspace.NewLayout(loops, cfg, profDS),
 		execLay: addrspace.NewLayout(loops, cfg, execDS),
-		hier:    cache.New(cfg),
-	}
+		hier:    hier,
+	}, nil
 }
 
 // Config returns the machine configuration.

@@ -6,6 +6,15 @@ import (
 	"ivliw"
 )
 
+func mustProgram(t *testing.T, cfg ivliw.Config, loops []*ivliw.Loop, opts ...ivliw.ProgramOption) *ivliw.Program {
+	t.Helper()
+	prog, err := ivliw.NewProgram(cfg, loops, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
 func saxpyLoop(t *testing.T) *ivliw.Loop {
 	t.Helper()
 	b := ivliw.NewLoop("saxpy", 256, 1)
@@ -25,7 +34,7 @@ func TestQuickstart(t *testing.T) {
 	cfg := ivliw.DefaultConfig()
 	cfg.AttractionBuffers = true
 	loop := saxpyLoop(t)
-	prog := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+	prog := mustProgram(t, cfg, []*ivliw.Loop{loop})
 	c, err := prog.Compile(loop, ivliw.CompileOptions{Heuristic: ivliw.IPBC, Unroll: ivliw.Selective})
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +66,7 @@ func TestQuickstart(t *testing.T) {
 func TestHeuristicsDiffer(t *testing.T) {
 	cfg := ivliw.DefaultConfig()
 	loop := saxpyLoop(t)
-	prog := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+	prog := mustProgram(t, cfg, []*ivliw.Loop{loop})
 	for _, h := range []ivliw.Heuristic{ivliw.BASE, ivliw.IBC, ivliw.IPBC} {
 		c, err := prog.Compile(loop, ivliw.CompileOptions{Heuristic: h, Unroll: ivliw.UnrollxN})
 		if err != nil {
@@ -75,7 +84,7 @@ func TestHeuristicsDiffer(t *testing.T) {
 func TestUnifiedProgram(t *testing.T) {
 	cfg := ivliw.UnifiedConfig(5)
 	loop := saxpyLoop(t)
-	prog := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+	prog := mustProgram(t, cfg, []*ivliw.Loop{loop})
 	c, err := prog.Compile(loop, ivliw.CompileOptions{Heuristic: ivliw.IPBC, Unroll: ivliw.NoUnroll})
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +102,7 @@ func TestForeignLoopRejected(t *testing.T) {
 	cfg := ivliw.DefaultConfig()
 	a := saxpyLoop(t)
 	other := saxpyLoop(t)
-	prog := ivliw.NewProgram(cfg, []*ivliw.Loop{a})
+	prog := mustProgram(t, cfg, []*ivliw.Loop{a})
 	if _, err := prog.Compile(other, ivliw.CompileOptions{}); err == nil {
 		t.Error("Compile accepted a loop not in the program")
 	}
@@ -103,8 +112,8 @@ func TestForeignLoopRejected(t *testing.T) {
 func TestSeedsAndAlignmentOptions(t *testing.T) {
 	cfg := ivliw.DefaultConfig()
 	loop := saxpyLoop(t)
-	base := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
-	seeded := ivliw.NewProgram(cfg, []*ivliw.Loop{loop}, ivliw.WithSeeds(7, 8), ivliw.WithoutAlignment())
+	base := mustProgram(t, cfg, []*ivliw.Loop{loop})
+	seeded := mustProgram(t, cfg, []*ivliw.Loop{loop}, ivliw.WithSeeds(7, 8), ivliw.WithoutAlignment())
 	cb, err := base.Compile(loop, ivliw.CompileOptions{Heuristic: ivliw.IPBC, Unroll: ivliw.OUFUnroll})
 	if err != nil {
 		t.Fatal(err)
@@ -117,5 +126,39 @@ func TestSeedsAndAlignmentOptions(t *testing.T) {
 	rs := seeded.Run(cs)
 	if rb.TotalAccesses() == 0 || rs.TotalAccesses() == 0 {
 		t.Fatal("no accesses")
+	}
+}
+
+// TestNewProgramRejectsBadConfig: an inconsistent machine point must be
+// reported as an error by the public constructor, not as a library panic.
+func TestNewProgramRejectsBadConfig(t *testing.T) {
+	loop := saxpyLoop(t)
+	bad := []ivliw.Config{}
+	{
+		c := ivliw.DefaultConfig()
+		c.Interleave = 3 // BlockBytes not a multiple of N*I
+		bad = append(bad, c)
+	}
+	{
+		c := ivliw.DefaultConfig()
+		c.CacheBytes = 96 // 3 lines: not a multiple of Assoc
+		c.BlockBytes = 32
+		bad = append(bad, c)
+	}
+	{
+		c := ivliw.DefaultConfig()
+		c.AttractionBuffers = true
+		c.ABEntries = 7 // not a multiple of ABAssoc
+		bad = append(bad, c)
+	}
+	{
+		c := ivliw.DefaultConfig()
+		c.Clusters = 0
+		bad = append(bad, c)
+	}
+	for i, cfg := range bad {
+		if _, err := ivliw.NewProgram(cfg, []*ivliw.Loop{loop}); err == nil {
+			t.Errorf("case %d: NewProgram accepted an invalid configuration", i)
+		}
 	}
 }

@@ -185,7 +185,10 @@ func BenchmarkScheduler(b *testing.B) {
 				prev = op
 			}
 			loop := lb.MustBuild()
-			prog := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+			prog, err := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := prog.Compile(loop, ivliw.CompileOptions{

@@ -1,20 +1,33 @@
-// Command ivliw-bench regenerates the paper's evaluation: every figure
-// (4-8) and table (1-2) of §5, plus the headline numbers of the abstract
-// and conclusions.
+// Command ivliw-bench regenerates the paper's evaluation — every figure
+// (4-8) and table (1-2) of §5 plus the headline numbers — and, with -sweep,
+// explores the design space around the paper's Table 2 point: a grid of
+// (cluster count × interleaving factor × cache geometry × Attraction Buffer
+// size × bus/memory latency) machine points against paper or synthetic
+// benchmarks, emitted as machine-readable JSON lines.
 //
 // Usage:
 //
 //	ivliw-bench -exp table1|table2|fig4|fig5|fig6|fig7|fig8|headlines|all
+//	ivliw-bench -sweep [-sweep-clusters 2,4,8] [-sweep-interleave 4,8]
+//	            [-sweep-ab 0,16] [-sweep-cache-kb 8] [-sweep-assoc 2]
+//	            [-sweep-bus 2] [-sweep-mem-lat 10]
+//	            [-sweep-bench gsmdec,jpegenc,mpeg2dec|all]
+//	            [-sweep-synth 4] [-sweep-seed 1]
+//	            [-sweep-heuristic IPBC] [-sweep-unroll selective]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"runtime"
+	"os"
+	"strconv"
 	"strings"
 
+	"ivliw/internal/core"
 	"ivliw/internal/experiments"
+	"ivliw/internal/sched"
+	"ivliw/internal/workload"
 )
 
 func main() {
@@ -22,9 +35,47 @@ func main() {
 	log.SetPrefix("ivliw-bench: ")
 	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, fig7, fig8, headlines or all")
 	workers := flag.Int("workers", 0, "worker pool size for the (benchmark × variant) grids (0: GOMAXPROCS)")
+	sweep := flag.Bool("sweep", false, "run the design-space sweep instead of -exp and emit JSON rows")
+	sweepClusters := flag.String("sweep-clusters", "2,4,8", "sweep axis: cluster counts")
+	sweepInterleave := flag.String("sweep-interleave", "4", "sweep axis: interleaving factors in bytes")
+	sweepCacheKB := flag.String("sweep-cache-kb", "8", "sweep axis: total L1 capacities in KB")
+	sweepAssoc := flag.String("sweep-assoc", "2", "sweep axis: L1 associativities")
+	sweepAB := flag.String("sweep-ab", "0,16", "sweep axis: Attraction Buffer entries (0 = off)")
+	sweepBus := flag.String("sweep-bus", "2", "sweep axis: core-cycles-per-bus-cycle ratios")
+	sweepMemLat := flag.String("sweep-mem-lat", "10", "sweep axis: next-memory-level latencies")
+	sweepBench := flag.String("sweep-bench", "gsmdec,jpegenc,mpeg2dec", "benchmarks to sweep (comma list, or 'all' for the full suite)")
+	sweepSynth := flag.Int("sweep-synth", 0, "number of synthetic benchmarks to append to the sweep")
+	sweepSeed := flag.Uint64("sweep-seed", 1, "base seed of the synthetic workload generator")
+	sweepHeuristic := flag.String("sweep-heuristic", "IPBC", "cluster heuristic of every sweep point: BASE, IBC or IPBC")
+	sweepUnroll := flag.String("sweep-unroll", "selective", "unrolling of every sweep point: none, xN, OUF or selective")
 	flag.Parse()
-	if *workers > 0 {
-		runtime.GOMAXPROCS(*workers)
+	if *workers < 0 {
+		fmt.Fprintf(flag.CommandLine.Output(), "ivliw-bench: -workers must be >= 0, got %d\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
+	experiments.SetWorkers(*workers)
+
+	if *sweep {
+		err := runSweep(sweepOptions{
+			clusters:   *sweepClusters,
+			interleave: *sweepInterleave,
+			cacheKB:    *sweepCacheKB,
+			assoc:      *sweepAssoc,
+			ab:         *sweepAB,
+			bus:        *sweepBus,
+			memLat:     *sweepMemLat,
+			bench:      *sweepBench,
+			synth:      *sweepSynth,
+			seed:       *sweepSeed,
+			heuristic:  *sweepHeuristic,
+			unroll:     *sweepUnroll,
+			workers:    *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	runners := map[string]func() error{
@@ -179,4 +230,146 @@ func headlines() error {
 	fmt.Printf("  speedup over Unified(L=5), IPBC+AB:             %+.1f%% (paper: +5%%)\n", 100*h.SpeedupIPBC)
 	fmt.Printf("  interleaved(IBC+AB) vs multiVLIW cycle ratio:   %+.1f%% (paper: ~+7%% degradation)\n", 100*h.VsMultiVLIW)
 	return nil
+}
+
+// sweepOptions carries the parsed -sweep-* flag values.
+type sweepOptions struct {
+	clusters, interleave, cacheKB, assoc, ab, bus, memLat string
+	bench                                                 string
+	synth                                                 int
+	seed                                                  uint64
+	heuristic, unroll                                     string
+	workers                                               int
+}
+
+// runSweep expands the flag grid, resolves the benchmarks, runs the sweep
+// and writes JSON lines to stdout.
+func runSweep(o sweepOptions) error {
+	grid := experiments.SweepGrid{}
+	for _, ax := range []struct {
+		name string
+		csv  string
+		dst  *[]int
+	}{
+		{"-sweep-clusters", o.clusters, &grid.Clusters},
+		{"-sweep-interleave", o.interleave, &grid.Interleave},
+		{"-sweep-cache-kb", o.cacheKB, &grid.CacheBytes},
+		{"-sweep-assoc", o.assoc, &grid.Assoc},
+		{"-sweep-ab", o.ab, &grid.ABEntries},
+		{"-sweep-bus", o.bus, &grid.BusCycleRatio},
+		{"-sweep-mem-lat", o.memLat, &grid.NextLevelLatency},
+	} {
+		vs, err := parseIntList(ax.csv)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ax.name, err)
+		}
+		*ax.dst = vs
+	}
+	for i, kb := range grid.CacheBytes {
+		grid.CacheBytes[i] = kb * 1024
+	}
+	var err error
+	if grid.Heuristic, err = parseHeuristic(o.heuristic); err != nil {
+		return err
+	}
+	if grid.Unroll, err = parseUnroll(o.unroll); err != nil {
+		return err
+	}
+
+	benches, err := resolveBenches(o.bench, o.synth, o.seed)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.Sweep(experiments.SweepSpec{
+		Points:  grid.Points(),
+		Benches: benches,
+		Workers: o.workers,
+	})
+	if err != nil {
+		return err
+	}
+	out, err := experiments.EncodeSweep(rows)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}
+
+// resolveBenches turns the -sweep-bench list (plus -sweep-synth synthetic
+// benchmarks) into specs.
+func resolveBenches(csv string, synth int, seed uint64) ([]workload.BenchSpec, error) {
+	var benches []workload.BenchSpec
+	switch strings.ToLower(strings.TrimSpace(csv)) {
+	case "all":
+		benches = workload.Suite()
+	case "", "none":
+	default:
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			spec, ok := workload.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown benchmark %q (see -exp table1)", name)
+			}
+			benches = append(benches, spec)
+		}
+	}
+	if synth < 0 {
+		return nil, fmt.Errorf("-sweep-synth must be >= 0, got %d", synth)
+	}
+	syn, err := workload.SynthSuite(synth, seed)
+	if err != nil {
+		return nil, err
+	}
+	benches = append(benches, syn...)
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("no benchmarks selected: set -sweep-bench and/or -sweep-synth")
+	}
+	return benches, nil
+}
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: want a comma-separated integer list", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func parseHeuristic(s string) (sched.Heuristic, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "BASE":
+		return sched.Base, nil
+	case "IBC":
+		return sched.IBC, nil
+	case "IPBC":
+		return sched.IPBC, nil
+	}
+	return 0, fmt.Errorf("unknown heuristic %q (want BASE, IBC or IPBC)", s)
+}
+
+func parseUnroll(s string) (core.UnrollMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none", "no", "1":
+		return core.NoUnroll, nil
+	case "xn", "n":
+		return core.UnrollxN, nil
+	case "ouf":
+		return core.OUFUnroll, nil
+	case "selective":
+		return core.Selective, nil
+	}
+	return 0, fmt.Errorf("unknown unroll mode %q (want none, xN, OUF or selective)", s)
 }

@@ -26,7 +26,8 @@
 //	b.Flow(x, m).Flow(m, s)
 //	loop := b.MustBuild()
 //
-//	prog := ivliw.NewProgram(cfg, loop)
+//	prog, err := ivliw.NewProgram(cfg, loop)   // validates cfg once
+//	if err != nil { ... }
 //	compiled, err := prog.Compile(loop, ivliw.CompileOptions{
 //	    Heuristic: ivliw.IPBC,
 //	    Unroll:    ivliw.Selective,
@@ -39,6 +40,30 @@
 // cmd/ivliw-bench; per-figure drivers are exposed through the same module's
 // internal/experiments package and the top-level benchmarks in
 // bench_test.go.
+//
+// # Design-space sweeps
+//
+// The paper evaluates one machine point (Table 2). The sweep engine
+// generalizes every constant of that point into a validated axis and fans
+// the (configuration × workload) grid over the worker pool:
+//
+//   - arch.Config carries every swept parameter — cluster count,
+//     interleaving factor, cache capacity/associativity, Attraction Buffer
+//     size, bus ratio, local-hit and next-level latencies — with Default()
+//     reproducing the paper point exactly and Validate() rejecting
+//     infeasible combinations up front;
+//   - internal/workload synthesizes benchmark populations beyond the fixed
+//     suite: a seeded SynthSpec expands deterministically into strided,
+//     indirect, reduction and chain loop kernels with controllable
+//     footprint, ALU depth and recurrence depth;
+//   - internal/experiments.Sweep evaluates the grid cell-by-cell — an
+//     invalid machine point fails its own cells with an error row instead
+//     of aborting the run — and emits byte-stable JSON rows regardless of
+//     worker count.
+//
+// `ivliw-bench -sweep` exposes the engine on the command line (axes via
+// -sweep-clusters, -sweep-interleave, -sweep-ab, ...; synthetic workloads
+// via -sweep-synth); examples/design-sweep walks a small grid end to end.
 //
 // # Performance architecture
 //

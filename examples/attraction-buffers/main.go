@@ -51,7 +51,10 @@ func chainKernel(nMem int) *ivliw.Loop {
 
 func measure(cfg ivliw.Config) (stall int64, localPct float64) {
 	loop := chainKernel(19) // the 19-memory-op epicdec loop of §5.2
-	prog := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+	prog, err := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+	if err != nil {
+		log.Fatal(err)
+	}
 	c, err := prog.Compile(loop, ivliw.CompileOptions{
 		Heuristic: ivliw.IPBC, Unroll: ivliw.NoUnroll,
 	})

@@ -103,7 +103,10 @@ func main() {
 
 	run := func(m machine) (compute, stall, accesses, localHits int64) {
 		loops := buildProgramLoops()
-		prog := ivliw.NewProgram(m.cfg, loops)
+		prog, err := ivliw.NewProgram(m.cfg, loops)
+		if err != nil {
+			log.Fatalf("%s: %v", m.name, err)
+		}
 		for _, l := range loops {
 			c, err := prog.Compile(l, ivliw.CompileOptions{
 				Heuristic: m.heuristic, Unroll: ivliw.Selective,

@@ -1,0 +1,79 @@
+// Design-sweep explores the machine design space around the paper's Table 2
+// point instead of reproducing it: a grid of cluster counts and Attraction
+// Buffer sizes runs against two paper benchmarks plus a small synthetic
+// workload population (seeded loop-kernel generation — strided, indirect,
+// reduction and chain kernels), and the sweep reports which machine point
+// each workload prefers. The same engine backs `ivliw-bench -sweep`, which
+// emits the full rows as JSON lines for downstream analysis.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ivliw/internal/core"
+	"ivliw/internal/experiments"
+	"ivliw/internal/sched"
+	"ivliw/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Two paper benchmarks with opposite granularity characters...
+	var benches []workload.BenchSpec
+	for _, name := range []string{"gsmdec", "jpegenc"} {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", name)
+		}
+		benches = append(benches, spec)
+	}
+	// ...plus a synthetic population the seed suite does not cover.
+	syn, err := workload.SynthSuite(2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	benches = append(benches, syn...)
+
+	grid := experiments.SweepGrid{
+		Clusters:  []int{2, 4, 8},
+		ABEntries: []int{0, 16},
+		Heuristic: sched.IPBC,
+		Unroll:    core.Selective,
+	}
+	points := grid.Points()
+	rows, err := experiments.Sweep(experiments.SweepSpec{Points: points, Benches: benches})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d machine points × %d workloads = %d cells\n\n", len(points), len(benches), len(rows))
+	fmt.Printf("%-10s", "workload")
+	for _, p := range points {
+		fmt.Printf(" %28s", p.Label)
+	}
+	fmt.Println()
+	for bi, b := range benches {
+		fmt.Printf("%-10s", b.Name)
+		best, bestCycles := "", int64(0)
+		for pi := range points {
+			r := rows[pi*len(benches)+bi]
+			if r.Error != "" {
+				fmt.Printf(" %28s", "error")
+				continue
+			}
+			fmt.Printf(" %28d", r.Cycles)
+			if best == "" || r.Cycles < bestCycles {
+				best, bestCycles = r.Point, r.Cycles
+			}
+		}
+		fmt.Printf("   <- best: %s\n", best)
+	}
+	fmt.Println()
+	fmt.Println("Total cycles per (machine point, workload); lower is better. The word-")
+	fmt.Println("and table-dominated codecs want more clusters only when Attraction")
+	fmt.Println("Buffers absorb the extra remote traffic, while the synthetic kernels'")
+	fmt.Println("preference follows their generated footprint and recurrence depth —")
+	fmt.Println("run `ivliw-bench -sweep -sweep-synth 8` for the full JSON rows.")
+}

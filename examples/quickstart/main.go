@@ -40,7 +40,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	prog := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+	prog, err := ivliw.NewProgram(cfg, []*ivliw.Loop{loop})
+	if err != nil {
+		log.Fatal(err)
+	}
 	compiled, err := prog.Compile(loop, ivliw.CompileOptions{
 		Heuristic: ivliw.IPBC,
 		Unroll:    ivliw.Selective, // no-unroll vs unroll×4 vs OUF, best Texec wins

@@ -43,7 +43,11 @@ func TestPaperExampleEndToEnd(t *testing.T) {
 			t.Errorf("chain member %d in cluster %d, want %d", id, c.Schedule.Place[id].Cluster, cl)
 		}
 	}
-	res := sim.RunLoop(c.Schedule, lay, ds, cfg, cache.New(cfg), 512, c.Meta())
+	hier, err := cache.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.RunLoop(c.Schedule, lay, ds, cfg, hier, 512, c.Meta())
 	if res.TotalAccesses() != 4*512 {
 		t.Errorf("accesses = %d, want %d", res.TotalAccesses(), 4*512)
 	}
@@ -80,7 +84,10 @@ func TestConsistencyAcrossOrganizations(t *testing.T) {
 		t.Run(org.name, func(t *testing.T) {
 			run := func() ivliw.LoopStats {
 				loop := build()
-				prog := ivliw.NewProgram(org.cfg, []*ivliw.Loop{loop})
+				prog, err := ivliw.NewProgram(org.cfg, []*ivliw.Loop{loop})
+				if err != nil {
+					t.Fatal(err)
+				}
 				c, err := prog.Compile(loop, ivliw.CompileOptions{Heuristic: org.h, Unroll: ivliw.Selective})
 				if err != nil {
 					t.Fatal(err)
@@ -122,7 +129,10 @@ func TestLatencyLaddersAcrossOrganizations(t *testing.T) {
 		{ivliw.UnifiedConfig(5), 15},
 	}
 	for _, c := range cases {
-		prog := ivliw.NewProgram(c.cfg, []*ivliw.Loop{loop})
+		prog, err := ivliw.NewProgram(c.cfg, []*ivliw.Loop{loop})
+		if err != nil {
+			t.Fatal(err)
+		}
 		compiled, err := prog.Compile(loop, ivliw.CompileOptions{Heuristic: ivliw.IPBC, Unroll: ivliw.NoUnroll})
 		if err != nil {
 			t.Fatal(err)

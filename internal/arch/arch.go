@@ -124,6 +124,10 @@ type Config struct {
 	// BusCycleRatio core cycles. Table 2: 2.
 	BusCycleRatio int
 
+	// LocalHitLatency is the access latency of a cluster's own cache
+	// module (the pipeline's load-use latency for a local hit). Table 2: 1.
+	LocalHitLatency int
+
 	// NextLevelLatency is the total latency of a next-memory-level access.
 	// Table 2: 10 cycles, always hit.
 	NextLevelLatency int
@@ -159,6 +163,7 @@ func Default() Config {
 		RegBuses:          4,
 		MemBuses:          4,
 		BusCycleRatio:     2,
+		LocalHitLatency:   1,
 		NextLevelLatency:  10,
 		NextLevelPorts:    4,
 		AttractionBuffers: false,
@@ -198,18 +203,62 @@ func (c Config) Validate() error {
 			c.CacheBytes, c.BlockBytes)
 	case c.Assoc <= 0:
 		return fmt.Errorf("arch: Assoc must be positive, got %d", c.Assoc)
+	case (c.CacheBytes/c.BlockBytes)%c.Assoc != 0:
+		return fmt.Errorf("arch: cache lines (%d) must be a multiple of Assoc (%d)",
+			c.CacheBytes/c.BlockBytes, c.Assoc)
+	case c.Org != Unified && c.CacheBytes%c.Clusters != 0:
+		return fmt.Errorf("arch: CacheBytes (%d) must split evenly across %d cluster modules",
+			c.CacheBytes, c.Clusters)
+	case c.Org != Unified && (c.CacheBytes/c.Clusters < c.BlockBytes ||
+		(c.CacheBytes/c.Clusters/c.BlockBytes)%c.Assoc != 0):
+		return fmt.Errorf("arch: module lines (%d) must be a positive multiple of Assoc (%d)",
+			c.CacheBytes/c.Clusters/c.BlockBytes, c.Assoc)
 	case c.Org == Unified && c.UnifiedLatency <= 0:
 		return fmt.Errorf("arch: UnifiedLatency must be positive, got %d", c.UnifiedLatency)
 	case c.RegBuses <= 0 || c.MemBuses <= 0:
 		return fmt.Errorf("arch: bus counts must be positive (reg=%d mem=%d)", c.RegBuses, c.MemBuses)
 	case c.BusCycleRatio <= 0:
 		return fmt.Errorf("arch: BusCycleRatio must be positive, got %d", c.BusCycleRatio)
+	case c.LocalHitLatency <= 0:
+		return fmt.Errorf("arch: LocalHitLatency must be positive, got %d", c.LocalHitLatency)
 	case c.NextLevelLatency <= 0:
 		return fmt.Errorf("arch: NextLevelLatency must be positive, got %d", c.NextLevelLatency)
+	case c.NextLevelPorts <= 0:
+		return fmt.Errorf("arch: NextLevelPorts must be positive, got %d", c.NextLevelPorts)
 	case c.AttractionBuffers && (c.ABEntries <= 0 || c.ABAssoc <= 0 || c.ABEntries%c.ABAssoc != 0):
 		return fmt.Errorf("arch: Attraction Buffer geometry invalid (entries=%d assoc=%d)", c.ABEntries, c.ABAssoc)
 	}
 	return nil
+}
+
+// ID returns a compact, stable label identifying the configuration point in
+// sweep reports: cluster count, interleaving factor, total cache capacity,
+// associativity, organization, the Attraction Buffer size when enabled, and
+// — when they deviate from the Table 2 values — the bus-cycle ratio,
+// local-hit latency and next-level latency, so every swept axis is
+// distinguishable in the label.
+func (c Config) ID() string {
+	id := fmt.Sprintf("c%d.i%d.%dKB.a%d.%s", c.Clusters, c.Interleave, c.CacheBytes/1024, c.Assoc, c.Org)
+	if c.Org == Unified {
+		id = fmt.Sprintf("c%d.%dKB.a%d.%s.L%d", c.Clusters, c.CacheBytes/1024, c.Assoc, c.Org, c.UnifiedLatency)
+	}
+	if c.AttractionBuffers {
+		id += fmt.Sprintf(".ab%d", c.ABEntries)
+		if c.ABHints {
+			id += "h"
+		}
+	}
+	def := Default()
+	if c.BusCycleRatio != def.BusCycleRatio {
+		id += fmt.Sprintf(".bus%d", c.BusCycleRatio)
+	}
+	if c.LocalHitLatency != def.LocalHitLatency {
+		id += fmt.Sprintf(".lh%d", c.LocalHitLatency)
+	}
+	if c.NextLevelLatency != def.NextLevelLatency {
+		id += fmt.Sprintf(".nl%d", c.NextLevelLatency)
+	}
+	return id
 }
 
 // SubblockBytes returns the number of bytes of a cache block mapped to one
@@ -240,13 +289,13 @@ func (c Config) Latency(class LatencyClass) int {
 	bus := c.BusCycleRatio
 	switch class {
 	case LocalHit:
-		return 1
+		return c.LocalHitLatency
 	case RemoteHit:
-		return 2*bus + 1
+		return 2*bus + c.LocalHitLatency
 	case LocalMiss:
 		return c.NextLevelLatency
 	case RemoteMiss:
-		return 2*bus + 1 + c.NextLevelLatency
+		return 2*bus + c.LocalHitLatency + c.NextLevelLatency
 	}
 	panic(fmt.Sprintf("arch: unknown latency class %d", int(class)))
 }

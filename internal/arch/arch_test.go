@@ -42,6 +42,9 @@ func TestDefaultMatchesTable2(t *testing.T) {
 	if c.NI() != 16 {
 		t.Errorf("NI = %d, want 16", c.NI())
 	}
+	if c.LocalHitLatency != 1 {
+		t.Errorf("LocalHitLatency = %d, want 1", c.LocalHitLatency)
+	}
 }
 
 // TestLatenciesMatchPaperExample checks the four latency classes against the
@@ -119,6 +122,12 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		func(c *Config) { c.NextLevelLatency = 0 },
 		func(c *Config) { c.AttractionBuffers = true; c.ABEntries = 0 },
 		func(c *Config) { c.AttractionBuffers = true; c.ABEntries = 15; c.ABAssoc = 2 },
+		func(c *Config) { c.LocalHitLatency = 0 },
+		func(c *Config) { c.NextLevelPorts = 0 },
+		// 3 total lines: not a multiple of Assoc=2.
+		func(c *Config) { c.Clusters = 1; c.Interleave = 16; c.BlockBytes = 32; c.CacheBytes = 96 },
+		// Module lines (CacheBytes/Clusters/BlockBytes = 1) not a multiple of Assoc.
+		func(c *Config) { c.Clusters = 8; c.Interleave = 4; c.CacheBytes = 256 },
 	}
 	for i, mutate := range bad {
 		c := Default()
@@ -148,5 +157,51 @@ func TestCommLatency(t *testing.T) {
 	c := Default()
 	if c.CommLatency() != 2 {
 		t.Errorf("CommLatency = %d, want 2 (buses at 1/2 core frequency)", c.CommLatency())
+	}
+}
+
+// TestLocalHitLatencyLifted: the latency ladder scales with the lifted
+// local-hit parameter instead of a hardwired 1.
+func TestLocalHitLatencyLifted(t *testing.T) {
+	c := Default()
+	c.LocalHitLatency = 3
+	if got := c.Latency(LocalHit); got != 3 {
+		t.Errorf("Latency(LocalHit) = %d, want 3", got)
+	}
+	if got := c.Latency(RemoteHit); got != 2*c.BusCycleRatio+3 {
+		t.Errorf("Latency(RemoteHit) = %d, want %d", got, 2*c.BusCycleRatio+3)
+	}
+	if got := c.Latency(RemoteMiss); got != 2*c.BusCycleRatio+3+c.NextLevelLatency {
+		t.Errorf("Latency(RemoteMiss) = %d, want %d", got, 2*c.BusCycleRatio+3+c.NextLevelLatency)
+	}
+}
+
+// TestConfigID: the sweep label is stable and distinguishes the axes.
+func TestConfigID(t *testing.T) {
+	if got := Default().ID(); got != "c4.i4.8KB.a2.interleaved" {
+		t.Errorf("Default().ID() = %q", got)
+	}
+	ab := Default()
+	ab.AttractionBuffers = true
+	if got := ab.ID(); got != "c4.i4.8KB.a2.interleaved.ab16" {
+		t.Errorf("AB ID = %q", got)
+	}
+	ab.ABHints = true
+	if got := ab.ID(); got != "c4.i4.8KB.a2.interleaved.ab16h" {
+		t.Errorf("AB-hints ID = %q", got)
+	}
+	if got := UnifiedConfig(5).ID(); got != "c4.8KB.a2.unified.L5" {
+		t.Errorf("unified ID = %q", got)
+	}
+	if got := MultiVLIWConfig().ID(); got != "c4.i4.8KB.a2.multiVLIW" {
+		t.Errorf("multiVLIW ID = %q", got)
+	}
+	// Off-Table-2 latency axes must be distinguishable in the label.
+	lat := Default()
+	lat.BusCycleRatio = 4
+	lat.LocalHitLatency = 2
+	lat.NextLevelLatency = 20
+	if got := lat.ID(); got != "c4.i4.8KB.a2.interleaved.bus4.lh2.nl20" {
+		t.Errorf("latency-axes ID = %q", got)
 	}
 }

@@ -21,14 +21,26 @@ type Store struct {
 }
 
 // NewStore builds a tag store with the given number of lines and
-// associativity, using modulo set indexing (like the L1 tag arrays).
-func NewStore(lines, assoc int) *Store {
+// associativity, using modulo set indexing (like the L1 tag arrays). The
+// geometry must be coherent: positive line and way counts, with the lines
+// dividing evenly into sets.
+func NewStore(lines, assoc int) (*Store, error) {
 	if lines <= 0 || assoc <= 0 || lines%assoc != 0 {
-		panic(fmt.Sprintf("cache: bad geometry lines=%d assoc=%d", lines, assoc))
+		return nil, fmt.Errorf("cache: bad geometry lines=%d assoc=%d", lines, assoc)
 	}
 	s := &Store{sets: make([][]int64, lines/assoc), assoc: assoc}
 	for i := range s.sets {
 		s.sets[i] = make([]int64, 0, assoc)
+	}
+	return s, nil
+}
+
+// MustStore is NewStore for geometries already validated upstream (for
+// example by arch.Config.Validate); it panics on a bad geometry.
+func MustStore(lines, assoc int) *Store {
+	s, err := NewStore(lines, assoc)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
@@ -37,10 +49,13 @@ func NewStore(lines, assoc int) *Store {
 // The Attraction Buffers use it because their keys combine a block number
 // with a home-cluster id: with modulo indexing the (up to three) remote
 // subblocks of one block would all collide in a single set.
-func NewHashedStore(lines, assoc int) *Store {
-	s := NewStore(lines, assoc)
+func NewHashedStore(lines, assoc int) (*Store, error) {
+	s, err := NewStore(lines, assoc)
+	if err != nil {
+		return nil, err
+	}
 	s.hashed = true
-	return s
+	return s, nil
 }
 
 func (s *Store) set(key int64) int {
@@ -139,8 +154,13 @@ type Hierarchy interface {
 	FlushBuffers()
 }
 
-// New builds the hierarchy selected by the configuration.
-func New(cfg arch.Config) Hierarchy {
+// New builds the hierarchy selected by the configuration. The configuration
+// is validated once here, so a bad machine point (for example one cell of a
+// design-space sweep) fails with an error instead of a library panic.
+func New(cfg arch.Config) (Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	switch cfg.Org {
 	case arch.Interleaved:
 		return NewInterleaved(cfg)
@@ -149,7 +169,7 @@ func New(cfg arch.Config) Hierarchy {
 	case arch.Unified:
 		return NewUnified(cfg)
 	}
-	panic("cache: unknown organization")
+	return nil, fmt.Errorf("cache: unknown organization %v", cfg.Org)
 }
 
 // Interleaved is the word-interleaved distributed cache of §3. A block's
@@ -164,18 +184,24 @@ type Interleaved struct {
 }
 
 // NewInterleaved builds the interleaved hierarchy.
-func NewInterleaved(cfg arch.Config) *Interleaved {
-	ic := &Interleaved{
-		cfg:    cfg,
-		blocks: NewStore(cfg.CacheBytes/cfg.BlockBytes, cfg.Assoc),
+func NewInterleaved(cfg arch.Config) (*Interleaved, error) {
+	blocks, err := NewStore(cfg.CacheBytes/cfg.BlockBytes, cfg.Assoc)
+	if err != nil {
+		return nil, err
 	}
+	ic := &Interleaved{cfg: cfg, blocks: blocks}
 	if cfg.AttractionBuffers {
+		if cfg.Clusters <= 0 {
+			return nil, fmt.Errorf("cache: Clusters must be positive, got %d", cfg.Clusters)
+		}
 		ic.abs = make([]*Store, cfg.Clusters)
 		for i := range ic.abs {
-			ic.abs[i] = NewHashedStore(cfg.ABEntries, cfg.ABAssoc)
+			if ic.abs[i], err = NewHashedStore(cfg.ABEntries, cfg.ABAssoc); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return ic
+	return ic, nil
 }
 
 func (ic *Interleaved) block(addr int64) int64 { return addr / int64(ic.cfg.BlockBytes) }
@@ -254,13 +280,20 @@ type MultiVLIWCache struct {
 }
 
 // NewMultiVLIW builds the coherent hierarchy.
-func NewMultiVLIW(cfg arch.Config) *MultiVLIWCache {
+func NewMultiVLIW(cfg arch.Config) (*MultiVLIWCache, error) {
+	if cfg.Clusters <= 0 || cfg.CacheBytes%cfg.Clusters != 0 {
+		return nil, fmt.Errorf("cache: CacheBytes (%d) must split evenly across %d modules",
+			cfg.CacheBytes, cfg.Clusters)
+	}
 	mc := &MultiVLIWCache{cfg: cfg, mods: make([]*Store, cfg.Clusters)}
 	lines := cfg.ModuleBytes() / cfg.BlockBytes
 	for i := range mc.mods {
-		mc.mods[i] = NewStore(lines, cfg.Assoc)
+		var err error
+		if mc.mods[i], err = NewStore(lines, cfg.Assoc); err != nil {
+			return nil, err
+		}
 	}
-	return mc
+	return mc, nil
 }
 
 // Access classifies and applies one access.
@@ -307,8 +340,12 @@ type UnifiedCache struct {
 }
 
 // NewUnified builds the unified hierarchy.
-func NewUnified(cfg arch.Config) *UnifiedCache {
-	return &UnifiedCache{cfg: cfg, blocks: NewStore(cfg.CacheBytes/cfg.BlockBytes, cfg.Assoc)}
+func NewUnified(cfg arch.Config) (*UnifiedCache, error) {
+	blocks, err := NewStore(cfg.CacheBytes/cfg.BlockBytes, cfg.Assoc)
+	if err != nil {
+		return nil, err
+	}
+	return &UnifiedCache{cfg: cfg, blocks: blocks}, nil
 }
 
 // Access classifies and applies one access. Hits are reported as local hits

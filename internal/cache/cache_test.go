@@ -7,8 +7,27 @@ import (
 	"ivliw/internal/arch"
 )
 
+// mustStore / mustHashed build stores for geometries the test knows are good.
+func mustStore(t *testing.T, lines, assoc int) *Store {
+	t.Helper()
+	s, err := NewStore(lines, assoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustHashed(t *testing.T, lines, assoc int) *Store {
+	t.Helper()
+	s, err := NewHashedStore(lines, assoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestStoreLRU(t *testing.T) {
-	s := NewStore(4, 2) // 2 sets × 2 ways
+	s := mustStore(t, 4, 2) // 2 sets × 2 ways
 	// Keys 0, 2, 4 map to set 0 (even), 1, 3 to set 1.
 	s.Fill(0)
 	s.Fill(2)
@@ -26,7 +45,7 @@ func TestStoreLRU(t *testing.T) {
 }
 
 func TestStoreInvalidateFlushLen(t *testing.T) {
-	s := NewStore(8, 2)
+	s := mustStore(t, 8, 2)
 	for k := int64(0); k < 6; k++ {
 		s.Fill(k)
 	}
@@ -46,7 +65,7 @@ func TestStoreInvalidateFlushLen(t *testing.T) {
 }
 
 func TestStoreFillIdempotent(t *testing.T) {
-	s := NewStore(4, 2)
+	s := mustStore(t, 4, 2)
 	s.Fill(0)
 	s.Fill(0)
 	if s.Len() != 1 {
@@ -54,20 +73,31 @@ func TestStoreFillIdempotent(t *testing.T) {
 	}
 }
 
-func TestNewStorePanicsOnBadGeometry(t *testing.T) {
+// TestNewStoreRejectsBadGeometry: a bad geometry is a returned error (so a
+// bad sweep point fails one cell), and MustStore is the panicking variant
+// for geometries already validated upstream.
+func TestNewStoreRejectsBadGeometry(t *testing.T) {
+	for _, g := range []struct{ lines, assoc int }{{3, 2}, {0, 1}, {4, 0}, {-8, 2}, {8, -2}} {
+		if _, err := NewStore(g.lines, g.assoc); err == nil {
+			t.Errorf("NewStore(%d, %d) must fail", g.lines, g.assoc)
+		}
+		if _, err := NewHashedStore(g.lines, g.assoc); err == nil {
+			t.Errorf("NewHashedStore(%d, %d) must fail", g.lines, g.assoc)
+		}
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("NewStore(3, 2) must panic")
+			t.Error("MustStore(3, 2) must panic")
 		}
 	}()
-	NewStore(3, 2)
+	MustStore(3, 2)
 }
 
 // TestStoreNeverExceedsCapacity is a property test: after any access
 // sequence the store holds at most `lines` keys and at most `assoc` per set.
 func TestStoreNeverExceedsCapacity(t *testing.T) {
 	f := func(keys []int16) bool {
-		s := NewStore(8, 2)
+		s := mustStore(t, 8, 2)
 		for _, k := range keys {
 			s.Fill(int64(k))
 		}
@@ -86,14 +116,19 @@ func TestStoreNeverExceedsCapacity(t *testing.T) {
 	}
 }
 
-func defaultInterleaved(ab bool) (*Interleaved, arch.Config) {
+func defaultInterleaved(t *testing.T, ab bool) (*Interleaved, arch.Config) {
+	t.Helper()
 	cfg := arch.Default()
 	cfg.AttractionBuffers = ab
-	return NewInterleaved(cfg), cfg
+	ic, err := NewInterleaved(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic, cfg
 }
 
 func TestInterleavedClassification(t *testing.T) {
-	ic, cfg := defaultInterleaved(false)
+	ic, cfg := defaultInterleaved(t, false)
 	// Address 0 belongs to cluster 0. First touch from cluster 0: local
 	// miss; again: local hit; from cluster 1: remote hit.
 	if r := ic.Access(0, 0, false, false); r.Class != arch.LocalMiss {
@@ -124,7 +159,7 @@ func TestInterleavedClassification(t *testing.T) {
 // cluster 1 (0-based) referencing word 3 of a line attracts the subblock
 // {W3, W7}; the next access to either word from that cluster is local.
 func TestAttractionBufferFigure1(t *testing.T) {
-	ic, _ := defaultInterleaved(true)
+	ic, _ := defaultInterleaved(t, true)
 	w3, w7 := int64(3*4), int64(7*4) // same subblock, home cluster 3
 	ic.Access(3, w3, false, false)   // warm the block (home touch)
 	if r := ic.Access(1, w3, false, true); r.Class != arch.RemoteHit {
@@ -149,7 +184,7 @@ func TestAttractionBufferFigure1(t *testing.T) {
 }
 
 func TestAttractionBufferFlush(t *testing.T) {
-	ic, _ := defaultInterleaved(true)
+	ic, _ := defaultInterleaved(t, true)
 	w3 := int64(12)
 	ic.Access(3, w3, false, false)
 	ic.Access(1, w3, false, true)
@@ -168,7 +203,7 @@ func TestAttractionBufferFlush(t *testing.T) {
 // TestAttractionBufferHonorsHint: without the attract flag nothing is
 // allocated (the §5.2 attractable-hints mechanism).
 func TestAttractionBufferHonorsHint(t *testing.T) {
-	ic, _ := defaultInterleaved(true)
+	ic, _ := defaultInterleaved(t, true)
 	w3 := int64(12)
 	ic.Access(3, w3, false, false)
 	ic.Access(1, w3, false, false) // not attractable
@@ -183,7 +218,7 @@ func TestAttractionBufferHonorsHint(t *testing.T) {
 // TestAttractionBufferCapacity: a stream of 19 distinct remote subblocks
 // overflows a 16-entry buffer (the epicdec loop of §5.2).
 func TestAttractionBufferCapacity(t *testing.T) {
-	ic, cfg := defaultInterleaved(true)
+	ic, cfg := defaultInterleaved(t, true)
 	// 19 subblocks homed in cluster 3, accessed from cluster 1.
 	var addrs []int64
 	for i := 0; i < 19; i++ {
@@ -210,7 +245,10 @@ func TestAttractionBufferCapacity(t *testing.T) {
 
 func TestMultiVLIWReplicationAndCoherence(t *testing.T) {
 	cfg := arch.MultiVLIWConfig()
-	mc := NewMultiVLIW(cfg)
+	mc, err := NewMultiVLIW(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr := int64(64)
 	if r := mc.Access(0, addr, false, false); r.Class != arch.LocalMiss {
 		t.Errorf("first access = %v, want local miss", r.Class)
@@ -234,7 +272,10 @@ func TestMultiVLIWReplicationAndCoherence(t *testing.T) {
 
 func TestUnifiedCache(t *testing.T) {
 	cfg := arch.UnifiedConfig(5)
-	uc := NewUnified(cfg)
+	uc, err := NewUnified(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r := uc.Access(0, 128, false, false); r.Class != arch.LocalMiss {
 		t.Errorf("first access = %v, want (local) miss", r.Class)
 	}
@@ -246,21 +287,33 @@ func TestUnifiedCache(t *testing.T) {
 }
 
 func TestNewDispatch(t *testing.T) {
-	if _, ok := New(arch.Default()).(*Interleaved); !ok {
+	mustNew := func(cfg arch.Config) Hierarchy {
+		h, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	if _, ok := mustNew(arch.Default()).(*Interleaved); !ok {
 		t.Error("New(Interleaved config) wrong type")
 	}
-	if _, ok := New(arch.MultiVLIWConfig()).(*MultiVLIWCache); !ok {
+	if _, ok := mustNew(arch.MultiVLIWConfig()).(*MultiVLIWCache); !ok {
 		t.Error("New(MultiVLIW config) wrong type")
 	}
-	if _, ok := New(arch.UnifiedConfig(1)).(*UnifiedCache); !ok {
+	if _, ok := mustNew(arch.UnifiedConfig(1)).(*UnifiedCache); !ok {
 		t.Error("New(Unified config) wrong type")
+	}
+	bad := arch.Default()
+	bad.Interleave = 3
+	if _, err := New(bad); err == nil {
+		t.Error("New must reject an invalid configuration with an error")
 	}
 }
 
 // TestInterleavedWorkingSetCapacity: a working set larger than 8KB thrashes
 // (hit rate well below 1); one that fits is all hits after warmup.
 func TestInterleavedWorkingSetCapacity(t *testing.T) {
-	ic, cfg := defaultInterleaved(false)
+	ic, cfg := defaultInterleaved(t, false)
 	// Fits: 4KB streamed twice.
 	misses := 0
 	for pass := 0; pass < 2; pass++ {
@@ -274,7 +327,7 @@ func TestInterleavedWorkingSetCapacity(t *testing.T) {
 		t.Errorf("4KB working set: %d misses, want 128 (cold only)", misses)
 	}
 	// Does not fit: 32KB streamed twice misses on every block.
-	ic2, _ := defaultInterleaved(false)
+	ic2, _ := defaultInterleaved(t, false)
 	misses = 0
 	for pass := 0; pass < 2; pass++ {
 		for a := int64(0); a < 32*1024; a += 32 {
@@ -285,5 +338,80 @@ func TestInterleavedWorkingSetCapacity(t *testing.T) {
 	}
 	if misses < 2000 {
 		t.Errorf("32KB working set: only %d misses, want ~2048 (thrash)", misses)
+	}
+}
+
+// TestHashedVsModuloResidency is the property test for the two set-index
+// functions: over any operation sequence on single-home keys (home-cluster
+// bits zero, as for L1 block numbers), a hashed and a modulo store of the
+// same geometry agree exactly on residency whenever set indexing cannot
+// influence evictions — (a) a single-set (fully associative) geometry, and
+// (b) any geometry while the distinct-key count stays within one set's
+// capacity, so neither store ever evicts.
+func TestHashedVsModuloResidency(t *testing.T) {
+	type op struct {
+		kind byte // 0 = Fill, 1 = Lookup, 2 = Invalidate
+		key  int64
+	}
+	run := func(s *Store, o op) bool {
+		switch o.kind % 3 {
+		case 0:
+			s.Fill(o.key)
+			return true
+		case 1:
+			return s.Lookup(o.key)
+		default:
+			return s.Invalidate(o.key)
+		}
+	}
+
+	// (a) Fully associative: one set, identical behaviour for arbitrary
+	// single-home key streams.
+	fullyAssoc := func(kinds []byte, rawKeys []uint32) bool {
+		mod := mustStore(t, 8, 8)
+		hash := mustHashed(t, 8, 8)
+		for i, k := range kinds {
+			if i >= len(rawKeys) {
+				break
+			}
+			o := op{kind: k, key: int64(rawKeys[i])} // single-home: high bits zero
+			if run(mod, o) != run(hash, o) {
+				return false
+			}
+		}
+		return mod.Len() == hash.Len()
+	}
+	if err := quick.Check(fullyAssoc, nil); err != nil {
+		t.Errorf("fully associative equivalence: %v", err)
+	}
+
+	// (b) Set-associative, eviction-free: at most `assoc` distinct keys in
+	// play, so no set of either store can overflow and residency is the
+	// same set of keys in both.
+	evictionFree := func(kinds []byte, picks []byte, seed uint32) bool {
+		const lines, assoc = 8, 2
+		keys := [assoc]int64{int64(seed), int64(seed>>3) + 1<<20} // 2 distinct single-home keys
+		mod := mustStore(t, lines, assoc)
+		hash := mustHashed(t, lines, assoc)
+		for i, k := range kinds {
+			if i >= len(picks) {
+				break
+			}
+			o := op{kind: k, key: keys[picks[i]%assoc]}
+			if run(mod, o) != run(hash, o) {
+				return false
+			}
+		}
+		for _, key := range keys {
+			// Residency check without MRU promotion side effects
+			// differing: Lookup mutates both identically.
+			if mod.Lookup(key) != hash.Lookup(key) {
+				return false
+			}
+		}
+		return mod.Len() == hash.Len()
+	}
+	if err := quick.Check(evictionFree, nil); err != nil {
+		t.Errorf("eviction-free equivalence: %v", err)
 	}
 }

@@ -73,11 +73,13 @@ func RunBench(spec workload.BenchSpec, v Variant) (stats.Bench, error) {
 	profDS := addrspace.Dataset{Seed: spec.ProfileSeed, Aligned: v.Aligned}
 	execDS := addrspace.Dataset{Seed: spec.ExecSeed, Aligned: v.Aligned}
 	loops := spec.AllLoops()
+	bench := stats.Bench{Name: spec.Name}
+	hier, err := cache.New(v.Cfg)
+	if err != nil {
+		return bench, fmt.Errorf("experiments: %s/%s: %w", spec.Name, v.Label, err)
+	}
 	profLay := addrspace.NewLayout(loops, v.Cfg, profDS)
 	execLay := addrspace.NewLayout(loops, v.Cfg, execDS)
-	hier := cache.New(v.Cfg)
-
-	bench := stats.Bench{Name: spec.Name}
 	for _, ls := range spec.Loops {
 		c, err := core.Compile(ls.Loop, v.Cfg, profLay, profDS, v.Opt)
 		if err != nil {
@@ -94,7 +96,7 @@ func RunBench(spec workload.BenchSpec, v Variant) (stats.Bench, error) {
 // benchmarks across the worker pool.
 func RunSuite(v Variant) (map[string]stats.Bench, error) {
 	suite := workload.Suite()
-	res, err := runCells(len(suite), func(i int) (stats.Bench, error) {
+	res, err := runCells(len(suite), 0, func(i int) (stats.Bench, error) {
 		return RunBench(suite[i], v)
 	})
 	if err != nil {
@@ -524,8 +526,8 @@ func SortedKeys[V any](m map[string]V) []string {
 
 // ---------- Interleaving-factor sweep (§5.1 future work) ----------
 
-// SweepRow holds one benchmark's cycle counts across interleaving factors.
-type SweepRow struct {
+// InterleaveRow holds one benchmark's cycle counts across interleaving factors.
+type InterleaveRow struct {
 	Bench string
 	// Cycles maps interleaving factor (bytes) to total cycles under
 	// IPBC with Attraction Buffers and selective unrolling.
@@ -539,7 +541,7 @@ type SweepRow struct {
 // a 2-byte interleaving factor would match better the applications'
 // characteristics") over the given benchmarks. Factors must divide the
 // block size evenly across clusters.
-func InterleaveSweep(benches []string, factors []int) ([]SweepRow, error) {
+func InterleaveSweep(benches []string, factors []int) ([]InterleaveRow, error) {
 	// Resolve and validate the whole grid up front so the parallel fan-out
 	// reports configuration errors deterministically, before any cell runs.
 	specs := make([]workload.BenchSpec, len(benches))
@@ -563,9 +565,9 @@ func InterleaveSweep(benches []string, factors []int) ([]SweepRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]SweepRow, 0, len(benches))
+	rows := make([]InterleaveRow, 0, len(benches))
 	for bi, name := range benches {
-		row := SweepRow{Bench: name, Cycles: map[int]int64{}}
+		row := InterleaveRow{Bench: name, Cycles: map[int]int64{}}
 		for fi, f := range factors {
 			row.Cycles[f] = cells[bi][fi].TotalCycles()
 			if row.Best == 0 || row.Cycles[f] < row.Cycles[row.Best] {

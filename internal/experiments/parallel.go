@@ -9,17 +9,43 @@ import (
 	"ivliw/internal/workload"
 )
 
+// defaultWorkers is the pool size used when a caller passes workers <= 0 to
+// runCells: 0 means "GOMAXPROCS at dispatch time". It is set by SetWorkers
+// (the -workers flag) instead of mutating runtime.GOMAXPROCS, which would
+// also throttle the garbage collector and any nested parallelism.
+var defaultWorkers atomic.Int64
+
+// SetWorkers fixes the worker-pool size used by the figure drivers when no
+// explicit count is passed. n <= 0 restores the default (GOMAXPROCS).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Workers returns the effective default pool size.
+func Workers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // runCells evaluates f over n independent cells — typically the (benchmark ×
 // variant) grid of a figure — on a bounded worker pool and returns the
 // results in cell order. Every cell compiles and simulates in isolation
 // (RunBench shares no mutable state), so the fan-out is embarrassingly
-// parallel; workers are capped at GOMAXPROCS, and with a single P the
-// harness degrades to the serial evaluation order. Results and errors are
-// deterministic regardless of scheduling: cell i's result lands in slot i,
-// and the reported error is the one from the lowest-indexed failing cell.
-func runCells[T any](n int, f func(i int) (T, error)) ([]T, error) {
+// parallel; workers is the pool size (<= 0 selects the SetWorkers /
+// GOMAXPROCS default), and a single-worker pool degrades to the serial
+// evaluation order. Results and errors are deterministic regardless of
+// scheduling: cell i's result lands in slot i, and the reported error is the
+// one from the lowest-indexed failing cell.
+func runCells[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = Workers()
+	}
 	if workers > n {
 		workers = n
 	}
@@ -72,7 +98,7 @@ func runCells[T any](n int, f func(i int) (T, error)) ([]T, error) {
 // benchmark b under variant v.
 func benchCells(suite []workload.BenchSpec, variants []Variant) ([][]stats.Bench, error) {
 	nv := len(variants)
-	flat, err := runCells(len(suite)*nv, func(i int) (stats.Bench, error) {
+	flat, err := runCells(len(suite)*nv, 0, func(i int) (stats.Bench, error) {
 		return RunBench(suite[i/nv], variants[i%nv])
 	})
 	if err != nil {

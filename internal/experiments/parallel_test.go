@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"ivliw/internal/workload"
@@ -20,10 +21,8 @@ func workloadByName(t *testing.T, name string) (workload.BenchSpec, bool) {
 // TestRunCellsOrdering: results land in cell order no matter how the pool
 // schedules them.
 func TestRunCellsOrdering(t *testing.T) {
-	old := runtime.GOMAXPROCS(4)
-	defer runtime.GOMAXPROCS(old)
 	n := 100
-	out, err := runCells(n, func(i int) (int, error) { return i * i, nil })
+	out, err := runCells(n, 4, func(i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,10 +36,8 @@ func TestRunCellsOrdering(t *testing.T) {
 // TestRunCellsError: the reported error is the lowest-indexed failure,
 // deterministically, even when later cells also fail.
 func TestRunCellsError(t *testing.T) {
-	old := runtime.GOMAXPROCS(4)
-	defer runtime.GOMAXPROCS(old)
 	want := errors.New("cell 7")
-	_, err := runCells(20, func(i int) (int, error) {
+	_, err := runCells(20, 4, func(i int) (int, error) {
 		if i >= 7 {
 			return 0, fmt.Errorf("cell %d", i)
 		}
@@ -54,10 +51,8 @@ func TestRunCellsError(t *testing.T) {
 // TestRunCellsSerial: a single-P pool must run the cells in order without
 // spawning workers.
 func TestRunCellsSerial(t *testing.T) {
-	old := runtime.GOMAXPROCS(1)
-	defer runtime.GOMAXPROCS(old)
 	var seen []int
-	out, err := runCells(5, func(i int) (int, error) {
+	out, err := runCells(5, 1, func(i int) (int, error) {
 		seen = append(seen, i)
 		return i, nil
 	})
@@ -92,5 +87,79 @@ func TestRunSuiteMatchesRunBench(t *testing.T) {
 		if gb.TotalCycles() != want.TotalCycles() {
 			t.Errorf("%s: parallel total %d != serial %d", name, gb.TotalCycles(), want.TotalCycles())
 		}
+	}
+}
+
+// TestRunCellsFailureDeterminism: with many workers and many failing cells,
+// every run must (a) report the lowest-indexed failure and (b) still have
+// completed every cell below it — exercised repeatedly so the race detector
+// sees the stop-dispatch/err-collection paths under contention.
+func TestRunCellsFailureDeterminism(t *testing.T) {
+	const n = 64
+	for round := 0; round < 20; round++ {
+		var ran [n]atomic.Bool
+		_, err := runCells(n, 8, func(i int) (int, error) {
+			ran[i].Store(true)
+			if i%5 == 3 { // cells 3, 8, 13, ... fail
+				return 0, fmt.Errorf("cell %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "cell 3" {
+			t.Fatalf("round %d: err = %v, want cell 3 (lowest failing index)", round, err)
+		}
+		for i := 0; i <= 3; i++ {
+			if !ran[i].Load() {
+				t.Fatalf("round %d: cell %d below the failure never ran", round, i)
+			}
+		}
+	}
+}
+
+// TestRunCellsWorkerCountInvariance: the same grid must produce identical
+// results for any pool size, including oversubscription.
+func TestRunCellsWorkerCountInvariance(t *testing.T) {
+	f := func(i int) (int, error) { return i*31 + 7, nil }
+	want, err := runCells(50, 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		got, err := runCells(50, workers, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: cell %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSetWorkers: the configured default feeds runCells when no explicit
+// count is passed, and never mutates GOMAXPROCS.
+func TestSetWorkers(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	SetWorkers(3)
+	defer SetWorkers(0)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	if runtime.GOMAXPROCS(0) != gmp {
+		t.Fatal("SetWorkers must not touch GOMAXPROCS")
+	}
+	out, err := runCells(10, 0, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("cell %d = %d", i, v)
+		}
+	}
+	SetWorkers(0)
+	if Workers() != gmp {
+		t.Fatalf("Workers() after reset = %d, want GOMAXPROCS %d", Workers(), gmp)
 	}
 }

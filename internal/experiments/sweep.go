@@ -1,0 +1,219 @@
+// Design-space sweep engine: evaluates a grid of machine configurations
+// against a set of benchmarks (the paper suite, a subset, or synthetic
+// workload populations) and emits machine-readable rows. Where the figure
+// drivers reproduce the paper's single Table 2 point, Sweep explores the
+// space around it — cluster count, interleaving factor, cache geometry,
+// Attraction Buffer size, bus and memory latencies — one (point × benchmark)
+// cell per row, fanned across the same bounded worker pool.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ivliw/internal/arch"
+	"ivliw/internal/core"
+	"ivliw/internal/sched"
+	"ivliw/internal/stats"
+	"ivliw/internal/workload"
+)
+
+// SweepSpec describes one sweep: the machine/compiler points, the
+// benchmarks, and the pool size.
+type SweepSpec struct {
+	// Points are the machine/compiler coordinates of the grid.
+	Points []Variant
+	// Benches are the workloads each point runs.
+	Benches []workload.BenchSpec
+	// Workers is the pool size (<= 0: the SetWorkers/GOMAXPROCS default).
+	// The row values are independent of it; only wall-clock time changes.
+	Workers int
+}
+
+// SweepRow is the result of one (point × benchmark) cell. Rows marshal to
+// stable JSON: field order is fixed and every counter is integral, so two
+// runs of the same sweep produce byte-identical output regardless of worker
+// count or scheduling.
+type SweepRow struct {
+	// Point and Bench name the cell; Config is the compact arch.Config ID.
+	Point  string `json:"point"`
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+
+	// Machine coordinates, denormalized for easy filtering downstream.
+	Clusters         int    `json:"clusters"`
+	Interleave       int    `json:"interleave"`
+	CacheBytes       int    `json:"cache_bytes"`
+	Assoc            int    `json:"assoc"`
+	Org              string `json:"org"`
+	ABEntries        int    `json:"ab_entries"` // 0 when Attraction Buffers are off
+	BusCycleRatio    int    `json:"bus_cycle_ratio"`
+	NextLevelLatency int    `json:"next_level_latency"`
+	Heuristic        string `json:"heuristic"`
+	Unroll           string `json:"unroll"`
+
+	// Error is set when the cell failed (invalid machine point, compile
+	// error); the counters below are then zero and the sweep carries on.
+	Error string `json:"error,omitempty"`
+
+	Cycles        int64 `json:"cycles"`
+	ComputeCycles int64 `json:"compute_cycles"`
+	StallCycles   int64 `json:"stall_cycles"`
+	Accesses      int64 `json:"accesses"`
+	LocalHits     int64 `json:"local_hits"`
+	RemoteHits    int64 `json:"remote_hits"`
+	LocalMisses   int64 `json:"local_misses"`
+	RemoteMisses  int64 `json:"remote_misses"`
+	Combined      int64 `json:"combined"`
+	// BalanceMilli is the weighted workload balance ×1000 (integral so the
+	// JSON encoding is exact and byte-stable).
+	BalanceMilli int64 `json:"balance_milli"`
+}
+
+// Sweep evaluates every (point × benchmark) cell of the spec on the worker
+// pool and returns the rows in grid order (points major, benches minor). A
+// failing cell — an invalid configuration, a compile error — yields a row
+// with Error set instead of aborting the sweep, so one bad point costs one
+// cell, not the run. The returned error is reserved for empty specs.
+func Sweep(spec SweepSpec) ([]SweepRow, error) {
+	if len(spec.Points) == 0 || len(spec.Benches) == 0 {
+		return nil, fmt.Errorf("experiments: empty sweep (%d points × %d benches)",
+			len(spec.Points), len(spec.Benches))
+	}
+	nb := len(spec.Benches)
+	rows, err := runCells(len(spec.Points)*nb, spec.Workers, func(i int) (SweepRow, error) {
+		return sweepCell(spec.Points[i/nb], spec.Benches[i%nb]), nil
+	})
+	if err != nil {
+		// Unreachable: sweepCell folds every failure into its row.
+		return nil, err
+	}
+	return rows, nil
+}
+
+// sweepCell runs one cell, folding any failure into the row.
+func sweepCell(v Variant, bench workload.BenchSpec) SweepRow {
+	row := SweepRow{
+		Point:            v.Label,
+		Bench:            bench.Name,
+		Config:           v.Cfg.ID(),
+		Clusters:         v.Cfg.Clusters,
+		Interleave:       v.Cfg.Interleave,
+		CacheBytes:       v.Cfg.CacheBytes,
+		Assoc:            v.Cfg.Assoc,
+		Org:              v.Cfg.Org.String(),
+		BusCycleRatio:    v.Cfg.BusCycleRatio,
+		NextLevelLatency: v.Cfg.NextLevelLatency,
+		Heuristic:        v.Opt.Heuristic.String(),
+		Unroll:           v.Opt.Unroll.String(),
+	}
+	if v.Cfg.AttractionBuffers {
+		row.ABEntries = v.Cfg.ABEntries
+	}
+	// RunBench validates the configuration up front (cache.New), so a bad
+	// machine point surfaces here as this row's error.
+	b, err := RunBench(bench, v)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	acc := b.Accesses()
+	row.Cycles = b.TotalCycles()
+	row.ComputeCycles = b.ComputeCycles()
+	row.StallCycles = b.StallCycles()
+	for _, a := range acc {
+		row.Accesses += a
+	}
+	row.LocalHits = acc[stats.LHit]
+	row.RemoteHits = acc[stats.RHit]
+	row.LocalMisses = acc[stats.LMiss]
+	row.RemoteMisses = acc[stats.RMiss]
+	row.Combined = acc[stats.Combined]
+	row.BalanceMilli = int64(b.WeightedBalance()*1000 + 0.5)
+	return row
+}
+
+// EncodeSweep renders the rows as one JSON object per line (JSONL), the
+// machine-readable format ivliw-bench -sweep emits. The encoding is
+// deterministic: grid order, fixed field order, integral counters.
+func EncodeSweep(rows []SweepRow) ([]byte, error) {
+	var out []byte
+	for i := range rows {
+		b, err := json.Marshal(&rows[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+		out = append(out, '\n')
+	}
+	return out, nil
+}
+
+// SweepGrid expands per-axis value lists into the cross-product of machine
+// points, Default()-based. Zero-length axes collapse to the Table 2 value,
+// so an empty grid is exactly the paper point.
+type SweepGrid struct {
+	// Clusters, Interleave, CacheBytes, Assoc and ABEntries are the grid
+	// axes (ABEntries 0 = Attraction Buffers off).
+	Clusters   []int
+	Interleave []int
+	CacheBytes []int
+	Assoc      []int
+	ABEntries  []int
+	// BusCycleRatio and NextLevelLatency sweep the communication axes.
+	BusCycleRatio    []int
+	NextLevelLatency []int
+	// Heuristic and Unroll fix the compiler configuration of every point.
+	Heuristic sched.Heuristic
+	Unroll    core.UnrollMode
+}
+
+// axis returns vs, or the fallback as a single-element axis.
+func axis(vs []int, fallback int) []int {
+	if len(vs) == 0 {
+		return []int{fallback}
+	}
+	return vs
+}
+
+// Points expands the grid into sweep points labeled by their configuration
+// ID. Invalid combinations (for example an interleaving factor that does not
+// divide the block size across the clusters) are kept: they surface as
+// per-cell errors in the sweep rows, documenting the infeasible region of
+// the space instead of silently shrinking it.
+func (g SweepGrid) Points() []Variant {
+	def := arch.Default()
+	var points []Variant
+	for _, nc := range axis(g.Clusters, def.Clusters) {
+		for _, il := range axis(g.Interleave, def.Interleave) {
+			for _, cb := range axis(g.CacheBytes, def.CacheBytes) {
+				for _, as := range axis(g.Assoc, def.Assoc) {
+					for _, ab := range axis(g.ABEntries, 0) {
+						for _, bus := range axis(g.BusCycleRatio, def.BusCycleRatio) {
+							for _, nl := range axis(g.NextLevelLatency, def.NextLevelLatency) {
+								cfg := def
+								cfg.Clusters = nc
+								cfg.Interleave = il
+								cfg.CacheBytes = cb
+								cfg.Assoc = as
+								cfg.AttractionBuffers = ab > 0
+								if ab > 0 {
+									cfg.ABEntries = ab
+								}
+								cfg.BusCycleRatio = bus
+								cfg.NextLevelLatency = nl
+								points = append(points, Variant{
+									Label:   cfg.ID(),
+									Cfg:     cfg,
+									Opt:     core.Options{Heuristic: g.Heuristic, Unroll: g.Unroll},
+									Aligned: true,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return points
+}

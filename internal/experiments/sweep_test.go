@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ivliw/internal/arch"
+	"ivliw/internal/core"
+	"ivliw/internal/sched"
+	"ivliw/internal/workload"
+)
+
+// smallGrid is a 6-point grid (clusters × AB) over two benchmarks = 12 cells.
+func smallGrid(t *testing.T) SweepSpec {
+	t.Helper()
+	grid := SweepGrid{
+		Clusters:  []int{2, 4, 8},
+		ABEntries: []int{0, 16},
+		Heuristic: sched.IPBC,
+		Unroll:    core.NoUnroll, // keep the test fast
+	}
+	var benches []workload.BenchSpec
+	for _, name := range []string{"g721dec", "gsmdec"} {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("benchmark %q missing", name)
+		}
+		benches = append(benches, spec)
+	}
+	return SweepSpec{Points: grid.Points(), Benches: benches}
+}
+
+// TestSweepGridPoints: the cross-product expands correctly and the default
+// (empty) grid is exactly the paper point.
+func TestSweepGridPoints(t *testing.T) {
+	pts := SweepGrid{Clusters: []int{2, 4, 8}, ABEntries: []int{0, 16}}.Points()
+	if len(pts) != 6 {
+		t.Fatalf("3×2 grid expanded to %d points", len(pts))
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		if seen[p.Label] {
+			t.Errorf("duplicate point label %q", p.Label)
+		}
+		seen[p.Label] = true
+	}
+	def := SweepGrid{}.Points()
+	if len(def) != 1 {
+		t.Fatalf("empty grid expanded to %d points, want 1", len(def))
+	}
+	want := arch.Default()
+	if def[0].Cfg != want {
+		t.Errorf("empty grid point = %+v, want Table 2 default", def[0].Cfg)
+	}
+	// The latency axes must produce distinguishable labels too.
+	latPts := SweepGrid{BusCycleRatio: []int{1, 2}, NextLevelLatency: []int{10, 20}}.Points()
+	if len(latPts) != 4 {
+		t.Fatalf("2×2 latency grid expanded to %d points", len(latPts))
+	}
+	labels := map[string]bool{}
+	for _, p := range latPts {
+		if labels[p.Label] {
+			t.Errorf("duplicate label %q across bus/mem-lat axes", p.Label)
+		}
+		labels[p.Label] = true
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers: the acceptance criterion — a sweep of
+// >= 12 (config × benchmark) cells must encode to identical JSON across
+// repeated runs and different worker counts.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	spec := smallGrid(t)
+	if n := len(spec.Points) * len(spec.Benches); n < 12 {
+		t.Fatalf("grid has %d cells, want >= 12", n)
+	}
+	var first []byte
+	for _, workers := range []int{1, 2, 7} {
+		spec.Workers = workers
+		rows, err := Sweep(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := EncodeSweep(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = enc
+			continue
+		}
+		if !bytes.Equal(first, enc) {
+			t.Fatalf("workers=%d: sweep JSON differs from workers=1 run", workers)
+		}
+	}
+	if len(first) == 0 {
+		t.Fatal("empty sweep encoding")
+	}
+}
+
+// TestSweepBadPointFailsOneCell: an invalid machine point must yield rows
+// with Error set while every other cell still produces results.
+func TestSweepBadPointFailsOneCell(t *testing.T) {
+	spec := smallGrid(t)
+	bad := spec.Points[0]
+	bad.Cfg.Interleave = 3 // BlockBytes not a multiple of N·I
+	bad.Label = "bad-point"
+	spec.Points = append([]Variant{bad}, spec.Points...)
+	rows, err := Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed, succeeded int
+	for _, r := range rows {
+		if r.Point == "bad-point" {
+			if r.Error == "" || r.Cycles != 0 {
+				t.Errorf("bad point row %+v: want Error set and zero counters", r)
+			}
+			failed++
+		} else {
+			if r.Error != "" {
+				t.Errorf("good point %s/%s failed: %s", r.Point, r.Bench, r.Error)
+			}
+			if r.Cycles <= 0 {
+				t.Errorf("good point %s/%s: no cycles", r.Point, r.Bench)
+			}
+			succeeded++
+		}
+	}
+	if failed != len(spec.Benches) {
+		t.Errorf("bad point produced %d error rows, want %d", failed, len(spec.Benches))
+	}
+	if succeeded == 0 {
+		t.Error("no successful cells")
+	}
+}
+
+// TestSweepRowShape: rows carry the denormalized machine coordinates and the
+// access classes sum to the access total.
+func TestSweepRowShape(t *testing.T) {
+	spec := smallGrid(t)
+	spec.Points = spec.Points[:1]
+	spec.Benches = spec.Benches[:1]
+	rows, err := Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Clusters != 2 || r.Org != "interleaved" || r.Heuristic != "IPBC" {
+		t.Errorf("row coordinates wrong: %+v", r)
+	}
+	if sum := r.LocalHits + r.RemoteHits + r.LocalMisses + r.RemoteMisses + r.Combined; sum != r.Accesses {
+		t.Errorf("classes sum to %d, total %d", sum, r.Accesses)
+	}
+	if r.Cycles != r.ComputeCycles+r.StallCycles {
+		t.Errorf("cycles %d != compute %d + stall %d", r.Cycles, r.ComputeCycles, r.StallCycles)
+	}
+	enc, err := EncodeSweep(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(string(enc))
+	if !strings.HasPrefix(line, `{"point":`) || strings.Contains(line, "\n") {
+		t.Errorf("encoding is not one JSON object per line: %q", line)
+	}
+}
+
+// TestSweepEmptySpec: an empty grid or bench set is an error.
+func TestSweepEmptySpec(t *testing.T) {
+	if _, err := Sweep(SweepSpec{}); err == nil {
+		t.Error("empty spec must fail")
+	}
+	if _, err := Sweep(SweepSpec{Points: SweepGrid{}.Points()}); err == nil {
+		t.Error("spec without benches must fail")
+	}
+}
+
+// TestSweepWithSyntheticWorkloads: sweeping a synthetic population works end
+// to end and stays deterministic.
+func TestSweepWithSyntheticWorkloads(t *testing.T) {
+	syn, err := workload.SynthSuite(2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SweepSpec{
+		Points: SweepGrid{
+			Clusters:  []int{2, 4},
+			Heuristic: sched.IPBC,
+			Unroll:    core.NoUnroll,
+		}.Points(),
+		Benches: syn,
+	}
+	a, err := Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, _ := EncodeSweep(a)
+	eb, _ := EncodeSweep(b)
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("synthetic sweep not deterministic across runs")
+	}
+	for _, r := range a {
+		if r.Error != "" {
+			t.Errorf("%s/%s: %s", r.Point, r.Bench, r.Error)
+		}
+	}
+}

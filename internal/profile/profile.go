@@ -110,7 +110,7 @@ func Run(l *ir.Loop, lay *addrspace.Layout, ds addrspace.Dataset, cfg arch.Confi
 	for _, id := range mems {
 		p.Per[id] = &MemStats{Hist: make([]int64, cfg.Clusters)}
 	}
-	store := cache.NewStore(cfg.CacheBytes/cfg.BlockBytes, cfg.Assoc)
+	store := cache.MustStore(cfg.CacheBytes/cfg.BlockBytes, cfg.Assoc)
 	blockOf := func(addr int64) int64 { return addr / int64(cfg.BlockBytes) }
 	for i := int64(0); i < int64(iters); i++ {
 		for _, id := range mems {

@@ -15,6 +15,17 @@ import (
 // buildAndSchedule builds a simple load→add→store streaming loop, schedules
 // it with the given heuristic/preferred map, and returns everything needed
 // to simulate it.
+
+// mustHier builds the hierarchy for a configuration the test knows is valid.
+func mustHier(t *testing.T, cfg arch.Config) cache.Hierarchy {
+	t.Helper()
+	h, err := cache.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
 func buildAndSchedule(t *testing.T, cfg arch.Config, stride int64, symBytes int64, pin map[int]int, loadLat int) (*sched.Schedule, *addrspace.Layout, addrspace.Dataset, int) {
 	t.Helper()
 	b := ir.NewBuilder("sim.loop", 256, 1)
@@ -56,7 +67,7 @@ func TestLocalAccessesNoStall(t *testing.T) {
 	if home != 0 {
 		t.Fatalf("aligned 16-stride access homes in cluster %d, want 0", home)
 	}
-	hier := cache.New(cfg)
+	hier := mustHier(t, cfg)
 	res := RunLoop(s, lay, ds, cfg, hier, 512, Meta{})
 	// The remote-miss assigned latency tolerates every access class; only
 	// transient next-level port queueing can leak a couple of cycles.
@@ -88,7 +99,7 @@ func TestRemoteHitsStallWithTightLatency(t *testing.T) {
 	if got := sTight.Place[ld].Cluster; got != 1 {
 		t.Fatalf("load in cluster %d, want 1", got)
 	}
-	hier := cache.New(cfg)
+	hier := mustHier(t, cfg)
 	resTight := RunLoop(sTight, lay, ds, cfg, hier, 512, Meta{})
 	if resTight.Accesses[stats.RHit] == 0 {
 		t.Fatalf("expected remote hits, got %+v", resTight.Accesses)
@@ -104,7 +115,7 @@ func TestRemoteHitsStallWithTightLatency(t *testing.T) {
 	// access latency itself; only bus saturation can still stall (two
 	// remote accesses per short kernel oversubscribe 4 half-speed buses).
 	sLoose, lay2, ds2, _ := buildAndSchedule(t, cfg, 16, 4096, map[int]int{0: 1, 2: 1}, 15)
-	hier2 := cache.New(cfg)
+	hier2 := mustHier(t, cfg)
 	resLoose := RunLoop(sLoose, lay2, ds2, cfg, hier2, 512, Meta{})
 	if resLoose.StallCycles*2 >= resTight.StallCycles {
 		t.Errorf("loose stall %d not well below tight stall %d",
@@ -121,11 +132,11 @@ func TestAttractionBuffersReduceStall(t *testing.T) {
 	// passes reuse attracted subblocks.
 	s, lay, ds, _ := buildAndSchedule(t, cfg, 16, 256, map[int]int{0: 1, 2: 1}, 1)
 
-	noAB := RunLoop(s, lay, ds, cfg, cache.New(cfg), 512, Meta{})
+	noAB := RunLoop(s, lay, ds, cfg, mustHier(t, cfg), 512, Meta{})
 
 	cfgAB := cfg
 	cfgAB.AttractionBuffers = true
-	withAB := RunLoop(s, lay, ds, cfgAB, cache.New(cfgAB), 512, Meta{})
+	withAB := RunLoop(s, lay, ds, cfgAB, mustHier(t, cfgAB), 512, Meta{})
 
 	if withAB.StallCycles >= noAB.StallCycles {
 		t.Errorf("AB stall %d not below no-AB stall %d", withAB.StallCycles, noAB.StallCycles)
@@ -142,8 +153,8 @@ func TestAttractableHintsLimitAllocation(t *testing.T) {
 	cfg := arch.Default()
 	cfg.AttractionBuffers = true
 	s, lay, ds, ld := buildAndSchedule(t, cfg, 16, 256, map[int]int{0: 1, 2: 1}, 1)
-	all := RunLoop(s, lay, ds, cfg, cache.New(cfg), 512, Meta{})
-	none := RunLoop(s, lay, ds, cfg, cache.New(cfg), 512, Meta{
+	all := RunLoop(s, lay, ds, cfg, mustHier(t, cfg), 512, Meta{})
+	none := RunLoop(s, lay, ds, cfg, mustHier(t, cfg), 512, Meta{
 		Attractable: func(id int) bool { return id != ld },
 	})
 	if none.Accesses[stats.LHit] >= all.Accesses[stats.LHit] {
@@ -172,7 +183,7 @@ func TestCombinedAccesses(t *testing.T) {
 	}
 	ds := addrspace.Dataset{Seed: 2, Aligned: true}
 	lay := addrspace.NewLayout([]*ir.Loop{l}, cfg, ds)
-	res := RunLoop(s, lay, ds, cfg, cache.New(cfg), 64, Meta{})
+	res := RunLoop(s, lay, ds, cfg, mustHier(t, cfg), 64, Meta{})
 	if res.Accesses[stats.Combined] == 0 {
 		t.Errorf("expected combined accesses, got %+v", res.Accesses)
 	}
@@ -193,7 +204,7 @@ func TestStoresNeverStall(t *testing.T) {
 	}
 	ds := addrspace.Dataset{Seed: 3, Aligned: true}
 	lay := addrspace.NewLayout([]*ir.Loop{l}, cfg, ds)
-	res := RunLoop(s, lay, ds, cfg, cache.New(cfg), 128, Meta{})
+	res := RunLoop(s, lay, ds, cfg, mustHier(t, cfg), 128, Meta{})
 	if res.StallCycles != 0 {
 		t.Errorf("stores stalled %d cycles, want 0", res.StallCycles)
 	}
@@ -210,7 +221,7 @@ func TestStallCauseAttribution(t *testing.T) {
 		Preferred:  func(id int) int { return 0 },
 		Dispersion: func(id int) float64 { return 0.25 },
 	}
-	res := RunLoop(s, lay, ds, cfg, cache.New(cfg), 512, meta)
+	res := RunLoop(s, lay, ds, cfg, mustHier(t, cfg), 512, meta)
 	if res.StallByClass[stats.RHit] == 0 {
 		t.Fatalf("expected remote-hit stalls, got %+v", res.StallByClass)
 	}
@@ -245,7 +256,7 @@ func TestGranularityCause(t *testing.T) {
 	}
 	ds := addrspace.Dataset{Seed: 4, Aligned: true}
 	lay := addrspace.NewLayout([]*ir.Loop{l}, cfg, ds)
-	res := RunLoop(s, lay, ds, cfg, cache.New(cfg), 512, Meta{
+	res := RunLoop(s, lay, ds, cfg, mustHier(t, cfg), 512, Meta{
 		Preferred:  func(int) int { return 0 },
 		Dispersion: func(int) float64 { return 1 },
 	})
@@ -259,7 +270,7 @@ func TestGranularityCause(t *testing.T) {
 func TestUnifiedLatencies(t *testing.T) {
 	cfg := arch.UnifiedConfig(5)
 	s, lay, ds, _ := buildAndSchedule(t, cfg, 4, 4096, nil, 5)
-	res := RunLoop(s, lay, ds, cfg, cache.New(cfg), 256, Meta{})
+	res := RunLoop(s, lay, ds, cfg, mustHier(t, cfg), 256, Meta{})
 	if res.Accesses[stats.RHit] != 0 || res.Accesses[stats.RMiss] != 0 {
 		t.Errorf("unified cache produced remote accesses: %+v", res.Accesses)
 	}
@@ -278,7 +289,7 @@ func TestUnifiedLatencies(t *testing.T) {
 func TestMultiVLIWMigration(t *testing.T) {
 	cfg := arch.MultiVLIWConfig()
 	s, lay, ds, _ := buildAndSchedule(t, cfg, 16, 4096, map[int]int{0: 1, 2: 1}, 15)
-	res := RunLoop(s, lay, ds, cfg, cache.New(cfg), 512, Meta{})
+	res := RunLoop(s, lay, ds, cfg, mustHier(t, cfg), 512, Meta{})
 	// First pass misses/pulls; second pass hits locally (4KB arrays,
 	// 2KB modules — the load's 1KB footprint fits).
 	if res.Accesses[stats.LHit] == 0 {
@@ -294,7 +305,7 @@ func TestMultiVLIWMigration(t *testing.T) {
 func TestScaleAndAggregation(t *testing.T) {
 	cfg := arch.Default()
 	s, lay, ds, _ := buildAndSchedule(t, cfg, 16, 256, map[int]int{0: 0, 2: 0}, 15)
-	res := RunLoop(s, lay, ds, cfg, cache.New(cfg), 128, Meta{})
+	res := RunLoop(s, lay, ds, cfg, mustHier(t, cfg), 128, Meta{})
 	base := res.TotalAccesses()
 	res.Scale(3)
 	if res.TotalAccesses() != 3*base {

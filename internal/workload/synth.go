@@ -1,0 +1,247 @@
+// Synthetic workload generation: where Suite() reproduces the paper's fixed
+// 14-benchmark Mediabench model, Synthesize grows the population from a
+// parameterized spec — a seeded mix of strided, indirect, reduction and
+// chain kernels with controllable footprint, ALU depth and recurrence depth
+// — so design-space sweeps can run over arbitrarily many workloads beyond
+// the seed suite. Generation is fully deterministic in the spec: the same
+// spec always yields byte-identical loops, independent of call order.
+package workload
+
+import (
+	"fmt"
+
+	"ivliw/internal/ir"
+)
+
+// SynthSpec parameterizes one synthetic benchmark.
+type SynthSpec struct {
+	// Name names the benchmark (must be non-empty and unique in a sweep).
+	Name string
+	// Seed drives every random draw of the generator.
+	Seed uint64
+	// Kernels is the number of loops to generate (default 3).
+	Kernels int
+	// Gran is the dominant element size in bytes: 1, 2, 4 or 8 (default 4).
+	Gran int
+	// FootprintBytes bounds the per-array working set; arrays draw their
+	// extent from [FootprintBytes/2, FootprintBytes] (default 4096).
+	FootprintBytes int64
+	// DepthMax caps the straight-line ALU depth between a load and its
+	// store/accumulator (default 8; draws are in [1, DepthMax]).
+	DepthMax int
+	// RecurrenceMax caps the recurrence depth of reduction kernels: the
+	// number of operations inside the loop-carried cycle (default 4).
+	RecurrenceMax int
+	// IndirectPct, ReductionPct and ChainPct set the kernel-kind mix in
+	// percent; the remainder is strided streams. Their sum must be <= 100.
+	IndirectPct, ReductionPct, ChainPct int
+	// Iters is the kernel trip count (default 128).
+	Iters int
+	// FP makes the ALU work floating-point (FP units instead of integer).
+	FP bool
+}
+
+// withDefaults fills unset fields.
+func (s SynthSpec) withDefaults() SynthSpec {
+	if s.Kernels == 0 {
+		s.Kernels = 3
+	}
+	if s.Gran == 0 {
+		s.Gran = 4
+	}
+	if s.FootprintBytes == 0 {
+		s.FootprintBytes = 4096
+	}
+	if s.DepthMax == 0 {
+		s.DepthMax = 8
+	}
+	if s.RecurrenceMax == 0 {
+		s.RecurrenceMax = 4
+	}
+	if s.Iters == 0 {
+		s.Iters = 128
+	}
+	return s
+}
+
+// Validate reports a descriptive error for an unusable spec.
+func (s SynthSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("workload: synthetic spec needs a name")
+	case s.Kernels < 0:
+		return fmt.Errorf("workload: %s: Kernels must be >= 0, got %d", s.Name, s.Kernels)
+	case s.Gran != 0 && s.Gran != 1 && s.Gran != 2 && s.Gran != 4 && s.Gran != 8:
+		return fmt.Errorf("workload: %s: Gran must be 1, 2, 4 or 8 bytes, got %d", s.Name, s.Gran)
+	case s.FootprintBytes < 0:
+		return fmt.Errorf("workload: %s: FootprintBytes must be >= 0, got %d", s.Name, s.FootprintBytes)
+	case s.DepthMax < 0 || s.RecurrenceMax < 0 || s.Iters < 0:
+		return fmt.Errorf("workload: %s: DepthMax, RecurrenceMax and Iters must be >= 0", s.Name)
+	case s.IndirectPct < 0 || s.ReductionPct < 0 || s.ChainPct < 0:
+		return fmt.Errorf("workload: %s: kernel-mix percentages must be >= 0", s.Name)
+	case s.IndirectPct+s.ReductionPct+s.ChainPct > 100:
+		return fmt.Errorf("workload: %s: kernel mix sums to %d%% (> 100%%)",
+			s.Name, s.IndirectPct+s.ReductionPct+s.ChainPct)
+	}
+	return nil
+}
+
+// synthRNG is a splitmix64 stream: deterministic, allocation-free, and
+// independent of Go's math/rand so generation never shifts under toolchain
+// upgrades.
+type synthRNG struct{ state uint64 }
+
+func (r *synthRNG) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a draw in [0, n).
+func (r *synthRNG) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// between returns a draw in [lo, hi].
+func (r *synthRNG) between(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// deepReduction builds a reduction whose loop-carried recurrence contains
+// `rec` operations (the controllable recurrence depth): ld a[i] feeds the
+// cycle, so the latency-assignment pass must trade the load's latency
+// against the recurrence-bound II exactly as in the paper's §4.3.2 ladder.
+func (g *gen) deepReduction(name string, gran int, stride, symBytes int64, iters, rec int, fp bool) *ir.Loop {
+	b := ir.NewBuilder(g.bench+"."+name, iters, 1)
+	ld := b.Load("ld", ir.MemInfo{Sym: g.sym("in"), Kind: ir.AllocHeap, Stride: stride, StrideKnown: true, Gran: gran, SymBytes: symBytes})
+	cls := ir.OpIntALU
+	if fp {
+		cls = ir.OpFPALU
+	}
+	if rec < 1 {
+		rec = 1
+	}
+	first := b.Op("acc", cls)
+	b.Flow(ld, first)
+	prev := first
+	for k := 1; k < rec; k++ {
+		op := b.Op("accstep", cls)
+		b.Flow(prev, op)
+		prev = op
+	}
+	b.FlowD(prev, first, 1)
+	return b.MustBuild()
+}
+
+// Synthesize generates one benchmark from the spec. The kernel mix is
+// deterministic: kernel k's kind and parameters depend only on (Seed, k).
+func Synthesize(spec SynthSpec) (BenchSpec, error) {
+	if err := spec.Validate(); err != nil {
+		return BenchSpec{}, err
+	}
+	spec = spec.withDefaults()
+	g := &gen{bench: spec.Name}
+	rng := &synthRNG{state: spec.Seed ^ hashName(spec.Name)}
+
+	bench := BenchSpec{
+		Name:         spec.Name,
+		ProfileInput: fmt.Sprintf("synth-%d.profile", spec.Seed),
+		ExecInput:    fmt.Sprintf("synth-%d.exec", spec.Seed),
+		MainGran:     spec.Gran,
+		MainGranPct:  100 - spec.IndirectPct/2,
+		ProfileSeed:  spec.Seed*2 + 1,
+		ExecSeed:     spec.Seed*2 + 2,
+	}
+	for k := 0; k < spec.Kernels; k++ {
+		name := fmt.Sprintf("k%d", k)
+		gran := spec.Gran
+		footprint := int64(rng.between(int(spec.FootprintBytes/2), int(spec.FootprintBytes)))
+		if footprint < int64(gran) {
+			footprint = int64(gran)
+		}
+		// Round the extent to the granularity only — not to N·I — so
+		// randomly-drawn extents off the N·I lattice wrap with a phase
+		// shift (the paper's "unclear preferred cluster" shape).
+		footprint -= footprint % int64(gran)
+		depth := rng.between(1, spec.DepthMax)
+		// Strides: mostly the element size (dense), sometimes a strided
+		// walk over records (×2, ×4).
+		stride := int64(gran) * int64(1<<rng.intn(3))
+		invocations := int64(rng.between(20, 100))
+
+		var loop *ir.Loop
+		kind := rng.intn(100)
+		switch {
+		case kind < spec.IndirectPct:
+			loop = g.indirect(name, gran, int64(gran), footprint, depth, spec.Iters)
+		case kind < spec.IndirectPct+spec.ReductionPct:
+			rec := rng.between(1, spec.RecurrenceMax)
+			loop = g.deepReduction(name, gran, stride, footprint, spec.Iters, rec, spec.FP)
+		case kind < spec.IndirectPct+spec.ReductionPct+spec.ChainPct:
+			nMem := rng.between(4, 12)
+			loop = g.chainLoop(name, nMem, gran, stride, footprint, spec.Iters, spec.FP)
+		default:
+			alloc := ir.AllocHeap
+			if rng.intn(4) == 0 {
+				alloc = ir.AllocGlobal
+			}
+			loop = g.stream(name, gran, stride, footprint, depth, spec.Iters, alloc, rng.intn(5) == 0)
+		}
+		bench.Loops = append(bench.Loops, LoopSpec{Loop: loop, Invocations: invocations})
+	}
+	return bench, nil
+}
+
+// SynthSuite generates a population of n synthetic benchmarks named
+// synth000.. with per-benchmark seeds derived from the base seed. The specs
+// vary granularity and kernel mix across the population so a sweep over the
+// suite exercises dense word streams, short-integer codec shapes, indirect
+// table walks and recurrence-bound loops.
+func SynthSuite(n int, seed uint64) ([]BenchSpec, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("workload: SynthSuite size must be >= 0, got %d", n)
+	}
+	grans := []int{4, 2, 8, 1}
+	out := make([]BenchSpec, 0, n)
+	for i := 0; i < n; i++ {
+		spec := SynthSpec{
+			Name:           fmt.Sprintf("synth%03d", i),
+			Seed:           seed + uint64(i)*0x9E37,
+			Kernels:        3,
+			Gran:           grans[i%len(grans)],
+			FootprintBytes: int64(2048 << (i % 3)),
+			DepthMax:       8,
+			RecurrenceMax:  2 + i%4,
+			IndirectPct:    (i * 13) % 40,
+			ReductionPct:   25,
+			ChainPct:       (i * 7) % 30,
+			Iters:          128,
+			FP:             i%3 == 2,
+		}
+		b, err := Synthesize(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// hashName is FNV-1a over the benchmark name, folded into the RNG state so
+// two same-seed benchmarks with different names still diverge.
+func hashName(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ivliw/internal/ir"
+)
+
+// fingerprint renders a benchmark's loops structurally so two generations
+// can be compared for byte identity.
+func fingerprint(b BenchSpec) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s prof=%d exec=%d gran=%d\n", b.Name, b.ProfileSeed, b.ExecSeed, b.MainGran)
+	for _, ls := range b.Loops {
+		fmt.Fprintf(&sb, "loop %s iters=%d inv=%d\n", ls.Loop.Name, ls.Loop.AvgIters, ls.Invocations)
+		for _, in := range ls.Loop.Instrs {
+			fmt.Fprintf(&sb, "  %s %v", in.Name, in.Class)
+			if in.Mem != nil {
+				fmt.Fprintf(&sb, " %+v", *in.Mem)
+			}
+			fmt.Fprintln(&sb)
+		}
+	}
+	return sb.String()
+}
+
+// TestSynthesizeDeterministic: the same spec always generates identical
+// loops; different seeds or names diverge.
+func TestSynthesizeDeterministic(t *testing.T) {
+	spec := SynthSpec{Name: "s0", Seed: 7, Kernels: 5, IndirectPct: 30, ReductionPct: 30, ChainPct: 20}
+	a, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) != fingerprint(b) {
+		t.Error("same spec generated different benchmarks")
+	}
+	c, err := Synthesize(SynthSpec{Name: "s0", Seed: 8, Kernels: 5, IndirectPct: 30, ReductionPct: 30, ChainPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) == fingerprint(c) {
+		t.Error("different seeds generated identical benchmarks")
+	}
+	d, err := Synthesize(SynthSpec{Name: "s1", Seed: 7, Kernels: 5, IndirectPct: 30, ReductionPct: 30, ChainPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) == fingerprint(d) {
+		t.Error("different names generated identical benchmarks")
+	}
+}
+
+// TestSynthesizeKernelMix: with a forced mix every kernel kind appears, and
+// the shapes match their kind (indirect loads, loop-carried recurrences).
+func TestSynthesizeKernelMix(t *testing.T) {
+	b, err := Synthesize(SynthSpec{Name: "mix", Seed: 3, Kernels: 24, IndirectPct: 34, ReductionPct: 33, ChainPct: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Loops) != 24 {
+		t.Fatalf("%d kernels, want 24", len(b.Loops))
+	}
+	var indirect, recurrent int
+	for _, ls := range b.Loops {
+		hasInd := false
+		for _, in := range ls.Loop.Instrs {
+			if in.Mem != nil && in.Mem.Indirect {
+				hasInd = true
+			}
+		}
+		if hasInd {
+			indirect++
+		}
+		g := ir.NewGraph(ls.Loop)
+		if len(g.Recurrences(ls.Loop.DefaultLatencies(1))) > 0 {
+			recurrent++
+		}
+	}
+	if indirect == 0 {
+		t.Error("no indirect kernels generated under a 34% indirect mix")
+	}
+	if recurrent == 0 {
+		t.Error("no recurrence-bound kernels generated under a 33% reduction mix")
+	}
+}
+
+// TestSynthesizeRecurrenceDepth: RecurrenceMax controls the loop-carried
+// cycle length of reduction kernels.
+func TestSynthesizeRecurrenceDepth(t *testing.T) {
+	deep, err := Synthesize(SynthSpec{Name: "deep", Seed: 5, Kernels: 8, ReductionPct: 100, RecurrenceMax: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCycle := 0
+	for _, ls := range deep.Loops {
+		g := ir.NewGraph(ls.Loop)
+		for _, rec := range g.Recurrences(ls.Loop.DefaultLatencies(1)) {
+			if len(rec.Nodes) > maxCycle {
+				maxCycle = len(rec.Nodes)
+			}
+		}
+	}
+	if maxCycle < 3 {
+		t.Errorf("deepest recurrence has %d members; RecurrenceMax=6 should reach >= 3", maxCycle)
+	}
+}
+
+// TestSynthesizeValidation: bad specs are rejected with errors.
+func TestSynthesizeValidation(t *testing.T) {
+	bad := []SynthSpec{
+		{},                       // no name
+		{Name: "x", Kernels: -1}, // negative kernels
+		{Name: "x", Gran: 3},     // unsupported granularity
+		{Name: "x", IndirectPct: 60, ReductionPct: 60}, // mix > 100%
+		{Name: "x", ChainPct: -5},                      // negative pct
+		{Name: "x", FootprintBytes: -1},
+	}
+	for i, s := range bad {
+		if _, err := Synthesize(s); err == nil {
+			t.Errorf("case %d: Synthesize(%+v) accepted a bad spec", i, s)
+		}
+	}
+	if _, err := SynthSuite(-1, 0); err == nil {
+		t.Error("SynthSuite(-1) must fail")
+	}
+}
+
+// TestSynthSuitePopulation: the suite generates the requested population
+// with unique names and valid, compilable loops (builder invariants hold).
+func TestSynthSuitePopulation(t *testing.T) {
+	suite, err := SynthSuite(8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 8 {
+		t.Fatalf("population = %d, want 8", len(suite))
+	}
+	names := map[string]bool{}
+	for _, b := range suite {
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		names[b.Name] = true
+		if len(b.Loops) == 0 {
+			t.Errorf("%s: no loops", b.Name)
+		}
+		for _, ls := range b.Loops {
+			if ls.Invocations <= 0 {
+				t.Errorf("%s/%s: invocations = %d", b.Name, ls.Loop.Name, ls.Invocations)
+			}
+			if len(ls.Loop.MemInstrs()) == 0 {
+				t.Errorf("%s/%s: no memory instructions", b.Name, ls.Loop.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# ci.sh — the mechanical regression gate.
+#
+# Runs, in order:
+#   1. go build ./...
+#   2. go vet ./...
+#   3. go test -race ./...       (includes the runCells failure-determinism
+#                                 and sweep worker-invariance tests)
+#   4. byte-identity of `ivliw-bench -exp all` against the committed golden
+#      transcript (cmd/ivliw-bench/testdata/exp_all.golden), so any drift in
+#      the paper reproduction is caught before it lands
+#   5. sweep determinism: `ivliw-bench -sweep` must emit identical JSON for
+#      -workers 1 and -workers 7
+#
+# Usage: scripts/ci.sh
+# To refresh the golden transcript after an *intentional* output change:
+#   go run ./cmd/ivliw-bench -exp all > cmd/ivliw-bench/testdata/exp_all.golden
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== 1/5 go build ./... =="
+go build ./...
+
+echo "== 2/5 go vet ./... =="
+go vet ./...
+
+echo "== 3/5 go test -race ./... =="
+go test -race ./...
+
+echo "== 4/5 paper-output byte identity (ivliw-bench -exp all) =="
+go build -o "$tmp/ivliw-bench" ./cmd/ivliw-bench
+"$tmp/ivliw-bench" -exp all > "$tmp/exp_all.txt"
+if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
+  echo "FAIL: ivliw-bench -exp all drifted from the golden transcript:" >&2
+  diff cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt" | head -40 >&2
+  exit 1
+fi
+echo "byte-identical"
+
+echo "== 5/5 sweep determinism across worker counts =="
+"$tmp/ivliw-bench" -sweep -workers 1 > "$tmp/sweep1.jsonl"
+"$tmp/ivliw-bench" -sweep -workers 7 > "$tmp/sweep7.jsonl"
+if ! cmp -s "$tmp/sweep1.jsonl" "$tmp/sweep7.jsonl"; then
+  echo "FAIL: -sweep output depends on -workers" >&2
+  exit 1
+fi
+rows=$(wc -l < "$tmp/sweep1.jsonl")
+if [ "$rows" -lt 12 ]; then
+  echo "FAIL: default sweep produced only $rows rows (< 12)" >&2
+  exit 1
+fi
+echo "deterministic ($rows rows)"
+
+echo "CI PASS"
