@@ -98,6 +98,107 @@ func TestUnifiedProgram(t *testing.T) {
 
 // TestForeignLoopRejected: compiling a loop outside the program's layout is
 // an error (its symbols have no addresses).
+// TestStagedAPIMatchesRichPath: CompileArtifact + RunArtifact (the staged
+// pipeline) must reproduce Compile + Run exactly, and recompilations must
+// hit the program's content-addressed artifact cache.
+func TestStagedAPIMatchesRichPath(t *testing.T) {
+	cfg := ivliw.DefaultConfig()
+	loop := saxpyLoop(t)
+	opt := ivliw.CompileOptions{Heuristic: ivliw.IPBC, Unroll: ivliw.Selective}
+
+	rich := mustProgram(t, cfg, []*ivliw.Loop{loop})
+	c, err := rich.Compile(loop, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rich.Run(c)
+
+	staged := mustProgram(t, cfg, []*ivliw.Loop{loop})
+	a, err := staged.CompileArtifact(loop, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule.II != c.Schedule.II || a.UnrollFactor != c.UnrollFactor {
+		t.Errorf("artifact II/unroll = %d/%d, want %d/%d", a.Schedule.II, a.UnrollFactor, c.Schedule.II, c.UnrollFactor)
+	}
+	got, err := staged.RunArtifact(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("staged run = %+v, want %+v", got, want)
+	}
+
+	// Same loop and options: the artifact is cached by content.
+	again, err := staged.CompileArtifact(loop, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != a {
+		t.Error("recompiling identical inputs did not hit the artifact cache")
+	}
+	// Different options: a different artifact.
+	other, err := staged.CompileArtifact(loop, ivliw.CompileOptions{Heuristic: ivliw.IBC, Unroll: ivliw.NoUnroll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == a {
+		t.Error("different options shared one artifact")
+	}
+	// Foreign loops are rejected like Compile rejects them.
+	if _, err := staged.CompileArtifact(saxpyLoop(t), opt); err == nil {
+		t.Error("CompileArtifact accepted a foreign loop")
+	}
+
+	// Explicit trip counts work like RunIters.
+	a2, err := staged.RunArtifactIters(a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Iters != 16 {
+		t.Errorf("RunArtifactIters simulated %d iters, want 16", a2.Iters)
+	}
+
+	// An artifact compiled under a different alignment policy is refused,
+	// not silently simulated against the wrong layout.
+	unaligned := mustProgram(t, cfg, []*ivliw.Loop{loop}, ivliw.WithoutAlignment())
+	if _, err := unaligned.RunArtifact(a); err == nil {
+		t.Error("alignment-mismatched artifact must be rejected")
+	}
+	// ...and so is one compiled for an incompatible machine layout (it
+	// would index clusters out of range). Simulate-only axes may differ.
+	narrow := cfg
+	narrow.Clusters = 2
+	if _, err := mustProgram(t, narrow, []*ivliw.Loop{loop}).RunArtifact(a); err == nil {
+		t.Error("config-mismatched artifact must be rejected")
+	}
+	simOnly := cfg
+	simOnly.MemBuses = 2
+	if _, err := mustProgram(t, simOnly, []*ivliw.Loop{loop}).RunArtifact(a); err != nil {
+		t.Errorf("simulate-only config delta must be accepted: %v", err)
+	}
+	// A foreign artifact whose symbols this program never laid out is
+	// refused (they would all collide at address 0).
+	foreign := mustProgram(t, cfg, []*ivliw.Loop{otherLoop(t)})
+	if _, err := foreign.RunArtifact(a); err == nil {
+		t.Error("artifact with unplaced symbols must be rejected")
+	}
+}
+
+// otherLoop builds a loop over different symbols than saxpyLoop.
+func otherLoop(t *testing.T) *ivliw.Loop {
+	t.Helper()
+	b := ivliw.NewLoop("other", 128, 1)
+	x := b.Load("a", ivliw.MemInfo{Sym: "a", Kind: ivliw.Heap, Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 2048})
+	s := b.Store("b", ivliw.MemInfo{Sym: "b", Kind: ivliw.Heap, Stride: 4, StrideKnown: true, Gran: 4, SymBytes: 2048})
+	b.Flow(x, s)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
 func TestForeignLoopRejected(t *testing.T) {
 	cfg := ivliw.DefaultConfig()
 	a := saxpyLoop(t)

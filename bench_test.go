@@ -6,6 +6,7 @@ import (
 
 	"ivliw"
 	"ivliw/internal/experiments"
+	"ivliw/internal/pipeline"
 	"ivliw/internal/stats"
 	"ivliw/internal/workload"
 )
@@ -306,4 +307,55 @@ func BenchmarkInterleaveSweep(b *testing.B) {
 			b.Fatal("bad sweep")
 		}
 	}
+}
+
+// benchmarkSweepCache measures design-sweep throughput (cells/s) on a grid
+// whose AB and MSHR axes are simulate-only — four machine points per
+// compile key — with the compiled-schedule cache at the given capacity
+// (0 = every cell compiles from scratch, the pre-pipeline behaviour).
+func benchmarkSweepCache(b *testing.B, capacity int) {
+	grid := experiments.SweepGrid{
+		Clusters:  []int{2, 4},
+		ABEntries: []int{0, 16},
+		MSHRs:     []int{0, 8},
+		Heuristic: ivliw.IPBC,
+		Unroll:    ivliw.Selective,
+	}
+	var benches []workload.BenchSpec
+	for _, name := range []string{"gsmdec", "g721dec"} {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			b.Fatalf("benchmark %q missing", name)
+		}
+		benches = append(benches, spec)
+	}
+	points := grid.Points()
+	cells := len(points) * len(benches)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sweep(experiments.SweepSpec{
+			Points:  points,
+			Benches: benches,
+			Cache:   pipeline.NewCache(capacity),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != cells {
+			b.Fatalf("%d rows, want %d", len(rows), cells)
+		}
+	}
+	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkSweepCompileCacheOn: the staged pipeline sharing schedule
+// artifacts across the simulate-only axes.
+func BenchmarkSweepCompileCacheOn(b *testing.B) {
+	benchmarkSweepCache(b, pipeline.DefaultCacheSize)
+}
+
+// BenchmarkSweepCompileCacheOff: every cell recompiles (the reference the
+// byte-identity gate compares against).
+func BenchmarkSweepCompileCacheOff(b *testing.B) {
+	benchmarkSweepCache(b, 0)
 }

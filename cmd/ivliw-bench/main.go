@@ -11,21 +11,35 @@
 //	ivliw-bench -sweep [-sweep-clusters 2,4,8] [-sweep-interleave 4,8]
 //	            [-sweep-ab 0,16] [-sweep-cache-kb 8] [-sweep-assoc 2]
 //	            [-sweep-bus 2] [-sweep-mem-lat 10]
+//	            [-sweep-fus 1:1:1,2:1:2] [-sweep-reg-bus 2,4]
+//	            [-sweep-mshr 0,4,8] [-sweep-ab-k 0,2,4]
 //	            [-sweep-bench gsmdec,jpegenc,mpeg2dec|all]
 //	            [-sweep-synth 4] [-sweep-seed 1]
 //	            [-sweep-heuristic IPBC] [-sweep-unroll selective]
+//	            [-compile-cache 256] [-out sweep.jsonl]
+//
+// Sweeps run as a two-stage streaming pipeline: distinct compile keys are
+// compiled once into a bounded content-addressed schedule cache
+// (-compile-cache artifacts; 0 disables) and rows are written to -out
+// (default stdout) as their in-order cells complete, so memory stays
+// bounded for arbitrarily large grids. The byte stream is identical with
+// the cache on or off and for any -workers count.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
 	"strings"
 
+	"ivliw/internal/arch"
 	"ivliw/internal/core"
 	"ivliw/internal/experiments"
+	"ivliw/internal/pipeline"
 	"ivliw/internal/sched"
 	"ivliw/internal/workload"
 )
@@ -43,14 +57,25 @@ func main() {
 	sweepAB := flag.String("sweep-ab", "0,16", "sweep axis: Attraction Buffer entries (0 = off)")
 	sweepBus := flag.String("sweep-bus", "2", "sweep axis: core-cycles-per-bus-cycle ratios")
 	sweepMemLat := flag.String("sweep-mem-lat", "10", "sweep axis: next-memory-level latencies")
+	sweepFUs := flag.String("sweep-fus", "", "sweep axis: per-cluster FU mixes as int:fp:mem triples (empty: Table 2)")
+	sweepRegBus := flag.String("sweep-reg-bus", "", "sweep axis: register-bus counts (empty: Table 2)")
+	sweepMSHR := flag.String("sweep-mshr", "", "sweep axis: MSHR depths, 0 = unbounded (empty: unbounded)")
+	sweepABK := flag.String("sweep-ab-k", "", "sweep axis: Attraction Buffer hint budgets K, 0 = hints off (empty: off)")
 	sweepBench := flag.String("sweep-bench", "gsmdec,jpegenc,mpeg2dec", "benchmarks to sweep (comma list, or 'all' for the full suite)")
 	sweepSynth := flag.Int("sweep-synth", 0, "number of synthetic benchmarks to append to the sweep")
 	sweepSeed := flag.Uint64("sweep-seed", 1, "base seed of the synthetic workload generator")
 	sweepHeuristic := flag.String("sweep-heuristic", "IPBC", "cluster heuristic of every sweep point: BASE, IBC or IPBC")
 	sweepUnroll := flag.String("sweep-unroll", "selective", "unrolling of every sweep point: none, xN, OUF or selective")
+	compileCache := flag.Int("compile-cache", pipeline.DefaultCacheSize, "compiled-schedule cache capacity in artifacts (0 disables; output is identical either way)")
+	out := flag.String("out", "", "write -sweep JSONL rows to this file instead of stdout")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(flag.CommandLine.Output(), "ivliw-bench: -workers must be >= 0, got %d\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *compileCache < 0 {
+		fmt.Fprintf(flag.CommandLine.Output(), "ivliw-bench: -compile-cache must be >= 0, got %d\n", *compileCache)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -58,19 +83,25 @@ func main() {
 
 	if *sweep {
 		err := runSweep(sweepOptions{
-			clusters:   *sweepClusters,
-			interleave: *sweepInterleave,
-			cacheKB:    *sweepCacheKB,
-			assoc:      *sweepAssoc,
-			ab:         *sweepAB,
-			bus:        *sweepBus,
-			memLat:     *sweepMemLat,
-			bench:      *sweepBench,
-			synth:      *sweepSynth,
-			seed:       *sweepSeed,
-			heuristic:  *sweepHeuristic,
-			unroll:     *sweepUnroll,
-			workers:    *workers,
+			clusters:     *sweepClusters,
+			interleave:   *sweepInterleave,
+			cacheKB:      *sweepCacheKB,
+			assoc:        *sweepAssoc,
+			ab:           *sweepAB,
+			bus:          *sweepBus,
+			memLat:       *sweepMemLat,
+			fus:          *sweepFUs,
+			regBus:       *sweepRegBus,
+			mshr:         *sweepMSHR,
+			abK:          *sweepABK,
+			bench:        *sweepBench,
+			synth:        *sweepSynth,
+			seed:         *sweepSeed,
+			heuristic:    *sweepHeuristic,
+			unroll:       *sweepUnroll,
+			workers:      *workers,
+			compileCache: *compileCache,
+			out:          *out,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -235,30 +266,44 @@ func headlines() error {
 // sweepOptions carries the parsed -sweep-* flag values.
 type sweepOptions struct {
 	clusters, interleave, cacheKB, assoc, ab, bus, memLat string
+	fus, regBus, mshr, abK                                string
 	bench                                                 string
 	synth                                                 int
 	seed                                                  uint64
 	heuristic, unroll                                     string
 	workers                                               int
+	compileCache                                          int
+	out                                                   string
 }
 
-// runSweep expands the flag grid, resolves the benchmarks, runs the sweep
-// and writes JSON lines to stdout.
+// runSweep expands the flag grid, resolves the benchmarks, and streams the
+// sweep's JSON lines to -out (stdout by default): each row is encoded as
+// its in-order cell completes, with distinct compile keys compiled once
+// into the shared schedule cache. Cache effectiveness is reported on
+// stderr; the row stream itself is byte-identical for any cache capacity
+// and worker count.
 func runSweep(o sweepOptions) error {
 	grid := experiments.SweepGrid{}
 	for _, ax := range []struct {
-		name string
-		csv  string
-		dst  *[]int
+		name     string
+		csv      string
+		dst      *[]int
+		optional bool
 	}{
-		{"-sweep-clusters", o.clusters, &grid.Clusters},
-		{"-sweep-interleave", o.interleave, &grid.Interleave},
-		{"-sweep-cache-kb", o.cacheKB, &grid.CacheBytes},
-		{"-sweep-assoc", o.assoc, &grid.Assoc},
-		{"-sweep-ab", o.ab, &grid.ABEntries},
-		{"-sweep-bus", o.bus, &grid.BusCycleRatio},
-		{"-sweep-mem-lat", o.memLat, &grid.NextLevelLatency},
+		{"-sweep-clusters", o.clusters, &grid.Clusters, false},
+		{"-sweep-interleave", o.interleave, &grid.Interleave, false},
+		{"-sweep-cache-kb", o.cacheKB, &grid.CacheBytes, false},
+		{"-sweep-assoc", o.assoc, &grid.Assoc, false},
+		{"-sweep-ab", o.ab, &grid.ABEntries, false},
+		{"-sweep-bus", o.bus, &grid.BusCycleRatio, false},
+		{"-sweep-mem-lat", o.memLat, &grid.NextLevelLatency, false},
+		{"-sweep-reg-bus", o.regBus, &grid.RegBuses, true},
+		{"-sweep-mshr", o.mshr, &grid.MSHRs, true},
+		{"-sweep-ab-k", o.abK, &grid.ABHintK, true},
 	} {
+		if ax.optional && strings.TrimSpace(ax.csv) == "" {
+			continue // empty axis: keep the Table 2 value
+		}
 		vs, err := parseIntList(ax.csv)
 		if err != nil {
 			return fmt.Errorf("%s: %w", ax.name, err)
@@ -269,6 +314,9 @@ func runSweep(o sweepOptions) error {
 		grid.CacheBytes[i] = kb * 1024
 	}
 	var err error
+	if grid.FUs, err = parseFUList(o.fus); err != nil {
+		return fmt.Errorf("-sweep-fus: %w", err)
+	}
 	if grid.Heuristic, err = parseHeuristic(o.heuristic); err != nil {
 		return err
 	}
@@ -280,20 +328,72 @@ func runSweep(o sweepOptions) error {
 	if err != nil {
 		return err
 	}
-	rows, err := experiments.Sweep(experiments.SweepSpec{
+
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if o.out != "" {
+		var err error
+		if f, err = os.Create(o.out); err != nil {
+			return err
+		}
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	cc := pipeline.NewCache(o.compileCache)
+	err = experiments.EncodeSweepTo(experiments.SweepSpec{
 		Points:  grid.Points(),
 		Benches: benches,
 		Workers: o.workers,
-	})
+		Cache:   cc,
+	}, bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}
-	out, err := experiments.EncodeSweep(rows)
-	if err != nil {
-		return err
+	st := cc.Stats()
+	log.Printf("compile cache: %d hits, %d compiles, %d evictions (capacity %d)",
+		st.Hits, st.Misses, st.Evictions, cc.Capacity())
+	return nil
+}
+
+// parseFUList parses a comma-separated list of int:fp:mem functional-unit
+// triples ("1:1:1,2:1:2"). An empty string means "Table 2 mix only".
+func parseFUList(csv string) ([][arch.NumFUKinds]int, error) {
+	csv = strings.TrimSpace(csv)
+	if csv == "" {
+		return nil, nil
 	}
-	_, err = os.Stdout.Write(out)
-	return err
+	var out [][arch.NumFUKinds]int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		parts := strings.Split(f, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad triple %q: want int:fp:mem, e.g. 1:1:1", f)
+		}
+		var fu [arch.NumFUKinds]int
+		for i, kind := range []arch.FUKind{arch.FUInt, arch.FUFP, arch.FUMem} {
+			v, err := strconv.Atoi(strings.TrimSpace(parts[i]))
+			if err != nil {
+				return nil, fmt.Errorf("bad triple %q: %v", f, err)
+			}
+			fu[kind] = v
+		}
+		out = append(out, fu)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 // resolveBenches turns the -sweep-bench list (plus -sweep-synth synthetic

@@ -62,8 +62,42 @@
 //     worker count.
 //
 // `ivliw-bench -sweep` exposes the engine on the command line (axes via
-// -sweep-clusters, -sweep-interleave, -sweep-ab, ...; synthetic workloads
-// via -sweep-synth); examples/design-sweep walks a small grid end to end.
+// -sweep-clusters, -sweep-interleave, -sweep-ab, -sweep-fus, -sweep-mshr,
+// ...; synthetic workloads via -sweep-synth; streamed output via -out);
+// examples/design-sweep walks a small grid end to end.
+//
+// # Pipeline stages
+//
+// Compilation and simulation are two explicit stages with a serializable
+// artifact between them (internal/pipeline):
+//
+//   - Stage 1 (Compile) runs unroll → latency assignment → ordering →
+//     cluster assignment/scheduling over a benchmark's loops and captures
+//     the result as a content-addressed Artifact: the modulo schedule (II,
+//     kernel, latency assignment), the unroll factor, and the
+//     compiler→simulator annotations (preferred clusters, dispersion,
+//     attractable hints) as plain data. Artifacts round-trip through
+//     encoding/gob.
+//   - The artifact key hashes every compile-relevant input — loop IR,
+//     profile seed, compiler options, alignment, and the layout-relevant
+//     subset of the configuration (arch.Config.CompileKey) — and nothing
+//     else. Simulate-only axes (memory buses, next-level ports, MSHR
+//     depth, Attraction Buffer geometry while hints are off) do not
+//     perturb the key, so sweep cells differing only in those axes share
+//     one compilation through a bounded, single-flight artifact cache
+//     (pipeline.Cache).
+//   - Stage 2 (Simulate) builds the execution layout and cache hierarchy
+//     for the cell's full configuration and runs the cycle-level simulator
+//     against the (read-only, freely shared) artifact.
+//
+// experiments.SweepTo streams the (point × benchmark) grid through both
+// stages: rows are emitted in grid order as their cells complete, with
+// memory bounded by a reorder window and the cache capacity rather than
+// the grid size, so 10^5+ cell grids run in constant space. Output is
+// byte-identical with the cache on or off and for any worker count (gated
+// by scripts/ci.sh). On the public API, Program.CompileArtifact and
+// Program.RunArtifact expose the same two stages per loop, with artifacts
+// cached by content inside the Program.
 //
 // # Performance architecture
 //

@@ -1,10 +1,17 @@
 // Design-sweep explores the machine design space around the paper's Table 2
-// point instead of reproducing it: a grid of cluster counts and Attraction
-// Buffer sizes runs against two paper benchmarks plus a small synthetic
-// workload population (seeded loop-kernel generation — strided, indirect,
-// reduction and chain kernels), and the sweep reports which machine point
-// each workload prefers. The same engine backs `ivliw-bench -sweep`, which
-// emits the full rows as JSON lines for downstream analysis.
+// point instead of reproducing it: a grid of cluster counts, Attraction
+// Buffer sizes and MSHR depths runs against two paper benchmarks plus a
+// small synthetic workload population, and the sweep reports which machine
+// point each workload prefers.
+//
+// The sweep runs as the staged compile/simulate pipeline behind
+// `ivliw-bench -sweep`: rows arrive in grid order through SweepTo as their
+// cells complete (this example collects them into a map because its table
+// is rendered workload-major; `ivliw-bench -sweep -out` writes each row as
+// it arrives instead), and points that differ only in simulate-only axes —
+// here the AB and MSHR axes — share one compiled schedule artifact through
+// the content-addressed cache, which the program prints the hit statistics
+// of at the end.
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 
 	"ivliw/internal/core"
 	"ivliw/internal/experiments"
+	"ivliw/internal/pipeline"
 	"ivliw/internal/sched"
 	"ivliw/internal/workload"
 )
@@ -39,26 +47,42 @@ func main() {
 	grid := experiments.SweepGrid{
 		Clusters:  []int{2, 4, 8},
 		ABEntries: []int{0, 16},
+		MSHRs:     []int{0, 4},
 		Heuristic: sched.IPBC,
 		Unroll:    core.Selective,
 	}
 	points := grid.Points()
-	rows, err := experiments.Sweep(experiments.SweepSpec{Points: points, Benches: benches})
+
+	// Stream the grid: rows arrive in order as cells complete, sharing
+	// compiled schedules across the AB and MSHR axes via the cache.
+	cache := pipeline.NewCache(pipeline.DefaultCacheSize)
+	cells := make(map[string]map[string]experiments.SweepRow, len(benches))
+	err = experiments.SweepTo(experiments.SweepSpec{
+		Points:  points,
+		Benches: benches,
+		Cache:   cache,
+	}, func(r experiments.SweepRow) error {
+		if cells[r.Bench] == nil {
+			cells[r.Bench] = map[string]experiments.SweepRow{}
+		}
+		cells[r.Bench][r.Point] = r
+		return nil
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%d machine points × %d workloads = %d cells\n\n", len(points), len(benches), len(rows))
+	fmt.Printf("%d machine points × %d workloads = %d cells\n\n", len(points), len(benches), len(points)*len(benches))
 	fmt.Printf("%-10s", "workload")
 	for _, p := range points {
 		fmt.Printf(" %28s", p.Label)
 	}
 	fmt.Println()
-	for bi, b := range benches {
+	for _, b := range benches {
 		fmt.Printf("%-10s", b.Name)
 		best, bestCycles := "", int64(0)
-		for pi := range points {
-			r := rows[pi*len(benches)+bi]
+		for _, p := range points {
+			r := cells[b.Name][p.Label]
 			if r.Error != "" {
 				fmt.Printf(" %28s", "error")
 				continue
@@ -70,10 +94,10 @@ func main() {
 		}
 		fmt.Printf("   <- best: %s\n", best)
 	}
+	st := cache.Stats()
 	fmt.Println()
-	fmt.Println("Total cycles per (machine point, workload); lower is better. The word-")
-	fmt.Println("and table-dominated codecs want more clusters only when Attraction")
-	fmt.Println("Buffers absorb the extra remote traffic, while the synthetic kernels'")
-	fmt.Println("preference follows their generated footprint and recurrence depth —")
-	fmt.Println("run `ivliw-bench -sweep -sweep-synth 8` for the full JSON rows.")
+	fmt.Printf("compile cache: %d cells served by %d compilations (%d hits; AB and MSHR\n", st.Hits+st.Misses, st.Misses, st.Hits)
+	fmt.Println("axes are simulate-only, so they share stage-1 schedule artifacts).")
+	fmt.Println("Total cycles per (machine point, workload); lower is better. Run")
+	fmt.Println("`ivliw-bench -sweep -sweep-synth 8 -out rows.jsonl` for streamed JSON rows.")
 }

@@ -107,6 +107,15 @@ func NewLayout(loops []*ir.Loop, cfg arch.Config, ds Dataset) *Layout {
 // Base returns the assigned base address of the symbol (0 if unknown).
 func (lay *Layout) Base(sym string) int64 { return lay.bases[sym] }
 
+// Resolves reports whether the layout assigned a base to the symbol —
+// i.e. whether a loop referencing it was part of the set the layout was
+// built over. Unknown symbols fall to address 0, so consumers of foreign
+// schedules should check before simulating.
+func (lay *Layout) Resolves(sym string) bool {
+	_, ok := lay.bases[sym]
+	return ok
+}
+
 // Addr returns the effective address of one execution of a memory
 // instruction at the given iteration of its loop. Strided accesses advance
 // by the instruction's stride and wrap within the symbol extent; indirect

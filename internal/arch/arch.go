@@ -134,6 +134,12 @@ type Config struct {
 	// NextLevelPorts is the number of next-level ports. Table 2: 4.
 	NextLevelPorts int
 
+	// MSHRs bounds the outstanding cache fills of the interleaved
+	// organization (the structure behind the paper's "combined" accesses).
+	// 0 means unbounded, the paper's idealization; a positive depth makes
+	// an access wait until a fill slot frees.
+	MSHRs int
+
 	// AttractionBuffers enables the per-cluster Attraction Buffers.
 	AttractionBuffers bool
 	// ABEntries is the number of subblock entries of each Attraction
@@ -145,6 +151,10 @@ type Config struct {
 	// most beneficial memory instructions of a loop attract subblocks,
 	// with K chosen so the buffer capacity is not overflowed.
 	ABHints bool
+	// ABHintK overrides the hint budget K (loads per cluster allowed to
+	// attract) when ABHints is on. 0 derives K from the buffer capacity
+	// (ABEntries/8, at least 1), the heuristic of §5.2.
+	ABHintK int
 }
 
 // Default returns the Table 2 configuration: a 4-cluster word-interleaved
@@ -193,6 +203,9 @@ func (c Config) Validate() error {
 	switch {
 	case c.Clusters <= 0:
 		return fmt.Errorf("arch: Clusters must be positive, got %d", c.Clusters)
+	case c.FUsPerCluster[FUInt] <= 0 || c.FUsPerCluster[FUFP] <= 0 || c.FUsPerCluster[FUMem] <= 0:
+		return fmt.Errorf("arch: FUsPerCluster must all be positive, got int=%d fp=%d mem=%d",
+			c.FUsPerCluster[FUInt], c.FUsPerCluster[FUFP], c.FUsPerCluster[FUMem])
 	case c.Interleave <= 0:
 		return fmt.Errorf("arch: Interleave must be positive, got %d", c.Interleave)
 	case c.BlockBytes <= 0 || c.BlockBytes%(c.Clusters*c.Interleave) != 0:
@@ -227,6 +240,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("arch: NextLevelPorts must be positive, got %d", c.NextLevelPorts)
 	case c.AttractionBuffers && (c.ABEntries <= 0 || c.ABAssoc <= 0 || c.ABEntries%c.ABAssoc != 0):
 		return fmt.Errorf("arch: Attraction Buffer geometry invalid (entries=%d assoc=%d)", c.ABEntries, c.ABAssoc)
+	case c.MSHRs < 0:
+		return fmt.Errorf("arch: MSHRs must be >= 0 (0 = unbounded), got %d", c.MSHRs)
+	case c.ABHintK < 0:
+		return fmt.Errorf("arch: ABHintK must be >= 0 (0 = derived from ABEntries), got %d", c.ABHintK)
 	}
 	return nil
 }
@@ -246,9 +263,18 @@ func (c Config) ID() string {
 		id += fmt.Sprintf(".ab%d", c.ABEntries)
 		if c.ABHints {
 			id += "h"
+			if c.ABHintK > 0 {
+				id += fmt.Sprintf("%d", c.ABHintK)
+			}
 		}
 	}
 	def := Default()
+	if c.FUsPerCluster != def.FUsPerCluster {
+		id += fmt.Sprintf(".fu%d:%d:%d", c.FUsPerCluster[FUInt], c.FUsPerCluster[FUFP], c.FUsPerCluster[FUMem])
+	}
+	if c.RegBuses != def.RegBuses {
+		id += fmt.Sprintf(".rb%d", c.RegBuses)
+	}
 	if c.BusCycleRatio != def.BusCycleRatio {
 		id += fmt.Sprintf(".bus%d", c.BusCycleRatio)
 	}
@@ -258,7 +284,53 @@ func (c Config) ID() string {
 	if c.NextLevelLatency != def.NextLevelLatency {
 		id += fmt.Sprintf(".nl%d", c.NextLevelLatency)
 	}
+	if c.MSHRs != 0 {
+		id += fmt.Sprintf(".mshr%d", c.MSHRs)
+	}
 	return id
+}
+
+// HintBudget returns the effective §5.2 hint budget K: the number of loads
+// per cluster allowed to allocate into the Attraction Buffer. 0 when hints
+// are not in force (every load attracts); otherwise ABHintK, or the
+// capacity-derived default ABEntries/8 (at least 1).
+func (c Config) HintBudget() int {
+	if !c.AttractionBuffers || !c.ABHints {
+		return 0
+	}
+	k := c.ABHintK
+	if k <= 0 {
+		k = c.ABEntries / 8
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// CompileKey returns a canonical encoding of exactly the configuration
+// fields that influence the compile stage — data layout (N·I), profiling
+// geometry (tag store, home clusters), the latency-assignment ladder, FU and
+// register-bus reservation, and the Attraction Buffer hint budget. It
+// deliberately excludes simulate-only axes: memory-bus count, next-level
+// ports, MSHR depth, unified-cache ports, and the whole Attraction Buffer
+// geometry when hints are off (the buffers are invisible to the compiler
+// then). Two configurations with equal CompileKeys compile every loop to an
+// identical schedule artifact, so sweep cells differing only in simulate-only
+// axes can share one cached compilation.
+func (c Config) CompileKey() string {
+	// UnifiedLatency only reaches the compiler through the unified ladder.
+	ul := 0
+	if c.Org == Unified {
+		ul = c.UnifiedLatency
+	}
+	return fmt.Sprintf("arch1|n%d|fu%d:%d:%d|i%d|bb%d|cb%d|as%d|org%d|ul%d|rb%d|bcr%d|lh%d|nll%d|abk%d",
+		c.Clusters,
+		c.FUsPerCluster[FUInt], c.FUsPerCluster[FUFP], c.FUsPerCluster[FUMem],
+		c.Interleave, c.BlockBytes, c.CacheBytes, c.Assoc,
+		int(c.Org), ul,
+		c.RegBuses, c.BusCycleRatio, c.LocalHitLatency, c.NextLevelLatency,
+		c.HintBudget())
 }
 
 // SubblockBytes returns the number of bytes of a cache block mapped to one

@@ -124,6 +124,10 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		func(c *Config) { c.AttractionBuffers = true; c.ABEntries = 15; c.ABAssoc = 2 },
 		func(c *Config) { c.LocalHitLatency = 0 },
 		func(c *Config) { c.NextLevelPorts = 0 },
+		func(c *Config) { c.FUsPerCluster[FUMem] = 0 },
+		func(c *Config) { c.FUsPerCluster[FUInt] = -1 },
+		func(c *Config) { c.MSHRs = -1 },
+		func(c *Config) { c.ABHintK = -2 },
 		// 3 total lines: not a multiple of Assoc=2.
 		func(c *Config) { c.Clusters = 1; c.Interleave = 16; c.BlockBytes = 32; c.CacheBytes = 96 },
 		// Module lines (CacheBytes/Clusters/BlockBytes = 1) not a multiple of Assoc.
@@ -203,5 +207,87 @@ func TestConfigID(t *testing.T) {
 	lat.NextLevelLatency = 20
 	if got := lat.ID(); got != "c4.i4.8KB.a2.interleaved.bus4.lh2.nl20" {
 		t.Errorf("latency-axes ID = %q", got)
+	}
+	// ...and so must the FU mix, register buses, MSHR depth and hint budget.
+	ext := Default()
+	ext.FUsPerCluster = [NumFUKinds]int{FUInt: 2, FUFP: 1, FUMem: 2}
+	ext.RegBuses = 2
+	ext.MSHRs = 8
+	if got := ext.ID(); got != "c4.i4.8KB.a2.interleaved.fu2:1:2.rb2.mshr8" {
+		t.Errorf("extended-axes ID = %q", got)
+	}
+	hk := ab
+	hk.ABHintK = 4
+	if got := hk.ID(); got != "c4.i4.8KB.a2.interleaved.ab16h4" {
+		t.Errorf("hint-budget ID = %q", got)
+	}
+}
+
+// TestHintBudget: the effective §5.2 budget is 0 without hints, ABEntries/8
+// by default, and the explicit override otherwise.
+func TestHintBudget(t *testing.T) {
+	c := Default()
+	if c.HintBudget() != 0 {
+		t.Errorf("budget without buffers = %d, want 0", c.HintBudget())
+	}
+	c.AttractionBuffers = true
+	if c.HintBudget() != 0 {
+		t.Errorf("budget without hints = %d, want 0", c.HintBudget())
+	}
+	c.ABHints = true
+	if c.HintBudget() != 2 { // 16 entries / 8
+		t.Errorf("derived budget = %d, want 2", c.HintBudget())
+	}
+	c.ABEntries = 4
+	if c.HintBudget() != 1 { // floor at 1
+		t.Errorf("small-buffer budget = %d, want 1", c.HintBudget())
+	}
+	c.ABHintK = 5
+	if c.HintBudget() != 5 {
+		t.Errorf("explicit budget = %d, want 5", c.HintBudget())
+	}
+}
+
+// TestCompileKeyAxes: simulate-only axes leave the compile key unchanged;
+// compile-relevant ones change it. (The end-to-end artifact-identity
+// property test lives in internal/pipeline.)
+func TestCompileKeyAxes(t *testing.T) {
+	base := Default().CompileKey()
+	simOnly := Default()
+	simOnly.MemBuses = 1
+	simOnly.NextLevelPorts = 1
+	simOnly.UnifiedPorts = 1
+	simOnly.MSHRs = 16
+	simOnly.AttractionBuffers = true // hints off: invisible to the compiler
+	simOnly.ABEntries = 64
+	simOnly.ABAssoc = 4
+	simOnly.UnifiedLatency = 3 // unused outside Org == Unified
+	if simOnly.CompileKey() != base {
+		t.Errorf("simulate-only axes changed the compile key:\n%s\n%s", base, simOnly.CompileKey())
+	}
+	for name, mut := range map[string]func(*Config){
+		"clusters":   func(c *Config) { c.Clusters = 2 },
+		"interleave": func(c *Config) { c.Interleave = 8 },
+		"block":      func(c *Config) { c.BlockBytes = 64 },
+		"cache":      func(c *Config) { c.CacheBytes = 16 * 1024 },
+		"assoc":      func(c *Config) { c.Assoc = 4 },
+		"org":        func(c *Config) { c.Org = MultiVLIW },
+		"fus":        func(c *Config) { c.FUsPerCluster[FUMem] = 2 },
+		"regbus":     func(c *Config) { c.RegBuses = 2 },
+		"busratio":   func(c *Config) { c.BusCycleRatio = 1 },
+		"localhit":   func(c *Config) { c.LocalHitLatency = 2 },
+		"nextlevel":  func(c *Config) { c.NextLevelLatency = 20 },
+		"hints":      func(c *Config) { c.AttractionBuffers = true; c.ABHints = true },
+	} {
+		c := Default()
+		mut(&c)
+		if c.CompileKey() == base {
+			t.Errorf("%s: compile-relevant axis did not change the key", name)
+		}
+	}
+	// UnifiedLatency is compile-relevant exactly when the cache is unified.
+	u1, u5 := UnifiedConfig(1), UnifiedConfig(5)
+	if u1.CompileKey() == u5.CompileKey() {
+		t.Error("unified latency must change the unified compile key")
 	}
 }

@@ -290,10 +290,8 @@ func attractable(l *ir.Loop, cfg arch.Config, s *sched.Schedule, p *profile.Prof
 	// revisits one (the two words of a subblock are N·I bytes apart, i.e.
 	// up to N iterations away, of which N−1 attract something new), so K
 	// must stay well below the raw entry count or the buffer thrashes.
-	k := cfg.ABEntries / 8
-	if k < 1 {
-		k = 1
-	}
+	// HintBudget returns ABHintK when set, else the ABEntries/8 default.
+	k := cfg.HintBudget()
 	for c, ids := range loads {
 		if len(ids) <= k {
 			continue

@@ -11,12 +11,10 @@ import (
 	"sort"
 	"strings"
 
-	"ivliw/internal/addrspace"
 	"ivliw/internal/arch"
-	"ivliw/internal/cache"
 	"ivliw/internal/core"
+	"ivliw/internal/pipeline"
 	"ivliw/internal/sched"
-	"ivliw/internal/sim"
 	"ivliw/internal/stats"
 	"ivliw/internal/workload"
 )
@@ -66,30 +64,49 @@ func UnifiedVariant(latency int) Variant {
 	}
 }
 
+// CompileSpec returns the stage-1 inputs of this variant over a benchmark:
+// the pipeline spec whose Key() content-addresses the compiled artifact.
+func (v Variant) CompileSpec(spec workload.BenchSpec) pipeline.CompileSpec {
+	return pipeline.CompileSpec{Bench: spec, Cfg: v.Cfg, Opt: v.Opt, Aligned: v.Aligned}
+}
+
+// CompileKey returns the variant's compile-stage identity — the machine
+// point's layout-relevant subset (arch.Config.CompileKey), the compiler
+// options and the alignment policy. The Label and every simulate-only axis
+// are deliberately absent: two variants with equal CompileKeys compile any
+// benchmark to identical artifacts.
+func (v Variant) CompileKey() string {
+	return fmt.Sprintf("%s|%s|al%t", v.Cfg.CompileKey(), pipeline.OptionsKey(v.Opt), v.Aligned)
+}
+
 // RunBench compiles and simulates every loop of one benchmark under the
 // variant, sharing the L1 across loops (Attraction Buffers are flushed
-// between loops by the simulator).
+// between loops by the simulator). It runs the two pipeline stages
+// back-to-back without a cache; grid drivers route through runBenchCached
+// to share stage-1 artifacts across cells.
 func RunBench(spec workload.BenchSpec, v Variant) (stats.Bench, error) {
-	profDS := addrspace.Dataset{Seed: spec.ProfileSeed, Aligned: v.Aligned}
-	execDS := addrspace.Dataset{Seed: spec.ExecSeed, Aligned: v.Aligned}
-	loops := spec.AllLoops()
+	return runBenchCached(spec, v, nil)
+}
+
+// runBenchCached is RunBench with an optional shared compile cache: stage 1
+// resolves through the cache (compiling on miss), stage 2 always simulates
+// the cell's own full configuration. A nil cache compiles fresh. Results
+// are byte-identical with the cache on or off: the cache key covers every
+// compile-relevant input.
+func runBenchCached(spec workload.BenchSpec, v Variant, c *pipeline.Cache) (stats.Bench, error) {
 	bench := stats.Bench{Name: spec.Name}
-	hier, err := cache.New(v.Cfg)
-	if err != nil {
+	// Validate the full configuration up front (not just the
+	// compile-relevant subset), so a point that is invalid only in
+	// simulate-only axes fails here — identically whether or not its
+	// compile key has a cached artifact.
+	if err := v.Cfg.Validate(); err != nil {
 		return bench, fmt.Errorf("experiments: %s/%s: %w", spec.Name, v.Label, err)
 	}
-	profLay := addrspace.NewLayout(loops, v.Cfg, profDS)
-	execLay := addrspace.NewLayout(loops, v.Cfg, execDS)
-	for _, ls := range spec.Loops {
-		c, err := core.Compile(ls.Loop, v.Cfg, profLay, profDS, v.Opt)
-		if err != nil {
-			return bench, fmt.Errorf("experiments: %s/%s: %w", spec.Name, ls.Loop.Name, err)
-		}
-		res := sim.RunLoop(c.Schedule, execLay, execDS, v.Cfg, hier, int64(c.Loop.AvgIters), c.Meta())
-		res.Scale(ls.Invocations)
-		bench.Loops = append(bench.Loops, res)
+	art, err := c.Get(v.CompileSpec(spec))
+	if err != nil {
+		return bench, fmt.Errorf("experiments: %s: %w", v.Label, err)
 	}
-	return bench, nil
+	return pipeline.Simulate(art, spec, v.Cfg, v.Aligned)
 }
 
 // RunSuite runs every benchmark of the suite under the variant, fanning the

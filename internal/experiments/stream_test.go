@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"ivliw/internal/core"
+	"ivliw/internal/pipeline"
+	"ivliw/internal/sched"
+	"ivliw/internal/workload"
+)
+
+// TestStreamCellsOrdering: emit receives every cell, in ascending order,
+// for a range of worker counts.
+func TestStreamCellsOrdering(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 2, 4, 9} {
+		var got []int
+		err := streamCells(n, workers,
+			func(i int) (int, error) { return i * i, nil },
+			func(i, v int) error {
+				if v != i*i {
+					t.Errorf("workers=%d: cell %d emitted value %d", workers, i, v)
+				}
+				got = append(got, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: emitted %d cells, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: emission out of order at %d: %v", workers, i, got[:i+1])
+			}
+		}
+	}
+}
+
+// TestStreamCellsBoundedWindow: workers never dispatch a cell more than the
+// reorder window ahead of the emission frontier — the memory bound that
+// lets sweeps of 10^5+ cells stream in constant space.
+func TestStreamCellsBoundedWindow(t *testing.T) {
+	const n, workers = 500, 4
+	window := 4 * workers
+	if window < 16 {
+		window = 16
+	}
+	var emitted atomic.Int64
+	var maxAhead atomic.Int64
+	err := streamCells(n, workers,
+		func(i int) (int, error) {
+			// emitted only grows, so this observes an upper bound of
+			// the dispatch-time distance.
+			ahead := int64(i) - emitted.Load()
+			for {
+				cur := maxAhead.Load()
+				if ahead <= cur || maxAhead.CompareAndSwap(cur, ahead) {
+					break
+				}
+			}
+			return i, nil
+		},
+		func(i, v int) error {
+			emitted.Add(1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dispatch is gated on the extraction frontier, which can run one
+	// in-flight emission batch (≤ window rows) ahead of the emit counter
+	// observed here, so the observable bound is two windows.
+	if got := maxAhead.Load(); got > int64(2*window) {
+		t.Errorf("dispatch ran %d cells ahead of emission, bound is %d", got, 2*window)
+	}
+}
+
+// TestStreamCellsEmitsIncrementally: rows must flow while later cells are
+// still executing. Cells in the second half of the grid block until the
+// tenth row has been emitted; if the engine buffered the full grid before
+// emitting anything, this would deadlock.
+func TestStreamCellsEmitsIncrementally(t *testing.T) {
+	const n = 100
+	tenthEmitted := make(chan struct{})
+	var closed atomic.Bool
+	err := streamCells(n, 2,
+		func(i int) (int, error) {
+			if i >= n/2 {
+				<-tenthEmitted
+			}
+			return i, nil
+		},
+		func(i, v int) error {
+			if i == 10 && closed.CompareAndSwap(false, true) {
+				close(tenthEmitted)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closed.Load() {
+		t.Fatal("tenth row never emitted")
+	}
+}
+
+// TestStreamCellsCellError: the lowest-indexed failing cell's error is
+// returned, deterministically, like runCells.
+func TestStreamCellsCellError(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		err := streamCells(64, workers,
+			func(i int) (int, error) {
+				if i == 3 || i == 7 {
+					return 0, fmt.Errorf("cell %d failed", i)
+				}
+				return i, nil
+			},
+			func(i, v int) error { return nil })
+		if err == nil || err.Error() != "cell 3 failed" {
+			t.Errorf("workers=%d: err = %v, want cell 3's", workers, err)
+		}
+	}
+}
+
+// TestStreamCellsEmitError: a failing emit aborts the stream and surfaces.
+func TestStreamCellsEmitError(t *testing.T) {
+	sentinel := errors.New("writer full")
+	for _, workers := range []int{1, 4} {
+		var emitted int
+		err := streamCells(64, workers,
+			func(i int) (int, error) { return i, nil },
+			func(i, v int) error {
+				if i == 5 {
+					return sentinel
+				}
+				emitted++
+				return nil
+			})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: err = %v, want sentinel", workers, err)
+		}
+		if emitted != 5 {
+			t.Errorf("workers=%d: emitted %d rows before the failing one, want 5", workers, emitted)
+		}
+	}
+}
+
+// TestSweepMatchesSweepTo: Sweep is the collecting form of the streaming
+// path — same rows, same order.
+func TestSweepMatchesSweepTo(t *testing.T) {
+	spec := smallGrid(t)
+	collected, err := Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []SweepRow
+	if err := SweepTo(spec, func(r SweepRow) error {
+		streamed = append(streamed, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ea, _ := EncodeSweep(collected)
+	eb, _ := EncodeSweep(streamed)
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("Sweep and SweepTo disagree")
+	}
+	var direct bytes.Buffer
+	if err := EncodeSweepTo(spec, &direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, direct.Bytes()) {
+		t.Fatal("EncodeSweepTo bytes differ from EncodeSweep(Sweep(...))")
+	}
+}
+
+// TestSweepCacheOnOffByteIdentical is the acceptance criterion: rows must
+// be byte-identical with the compile cache disabled, default-sized, and
+// pathologically small (evicting constantly), across worker counts.
+func TestSweepCacheOnOffByteIdentical(t *testing.T) {
+	spec := smallGrid(t)
+	var ref []byte
+	for _, tc := range []struct {
+		name    string
+		cache   *pipeline.Cache
+		workers int
+	}{
+		{"off-serial", pipeline.NewCache(0), 1},
+		{"default-parallel", nil, 7},
+		{"tiny-parallel", pipeline.NewCache(1), 3},
+		{"default-serial", pipeline.NewCache(pipeline.DefaultCacheSize), 1},
+	} {
+		spec.Cache = tc.cache
+		spec.Workers = tc.workers
+		var buf bytes.Buffer
+		if err := EncodeSweepTo(spec, &buf); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(ref, buf.Bytes()) {
+			t.Errorf("%s: sweep bytes differ from cache-off serial reference", tc.name)
+		}
+	}
+}
+
+// TestSweepSharesCompileAcrossSimulateOnlyAxes: the AB axis is invisible to
+// the compiler, so a (clusters × AB) grid compiles once per cluster count
+// per benchmark.
+func TestSweepSharesCompileAcrossSimulateOnlyAxes(t *testing.T) {
+	spec := smallGrid(t) // 3 cluster counts × 2 AB settings × 2 benches
+	cc := pipeline.NewCache(pipeline.DefaultCacheSize)
+	spec.Cache = cc
+	spec.Workers = 1
+	if _, err := Sweep(spec); err != nil {
+		t.Fatal(err)
+	}
+	st := cc.Stats()
+	wantCompiles := int64(3 * 2) // clusters × benches; AB shares
+	if st.Misses != wantCompiles {
+		t.Errorf("grid compiled %d artifacts, want %d (AB axis must share)", st.Misses, wantCompiles)
+	}
+	if st.Hits != wantCompiles {
+		t.Errorf("grid hit %d times, want %d", st.Hits, wantCompiles)
+	}
+}
+
+// TestVariantCompileKey: the key ignores the label and simulate-only axes
+// and tracks compile-relevant ones.
+func TestVariantCompileKey(t *testing.T) {
+	a := Interleaved("A", sched.IPBC, core.Selective, true, false, false)
+	b := Interleaved("B", sched.IPBC, core.Selective, true, true, false) // +AB, hints off
+	b.Cfg.MSHRs = 8
+	if a.CompileKey() != b.CompileKey() {
+		t.Error("label/AB/MSHR changes must not change the variant compile key")
+	}
+	c := Interleaved("C", sched.IBC, core.Selective, true, false, false)
+	if a.CompileKey() == c.CompileKey() {
+		t.Error("heuristic change must change the variant compile key")
+	}
+	d := Interleaved("D", sched.IPBC, core.Selective, false, false, false)
+	if a.CompileKey() == d.CompileKey() {
+		t.Error("alignment change must change the variant compile key")
+	}
+}
+
+// TestSweepGridNewAxes: the FU/reg-bus/MSHR/hint-budget axes expand the
+// cross-product with unique labels and denormalize into the rows.
+func TestSweepGridNewAxes(t *testing.T) {
+	grid := SweepGrid{
+		FUs:       [][3]int{{1, 1, 1}, {2, 1, 2}},
+		RegBuses:  []int{2, 4},
+		MSHRs:     []int{0, 4},
+		ABEntries: []int{16},
+		ABHintK:   []int{0, 2},
+		Heuristic: sched.IPBC,
+		Unroll:    core.NoUnroll,
+	}
+	pts := grid.Points()
+	if len(pts) != 16 {
+		t.Fatalf("2×2×2×2 grid expanded to %d points", len(pts))
+	}
+	labels := map[string]bool{}
+	for _, p := range pts {
+		if labels[p.Label] {
+			t.Errorf("duplicate label %q across new axes", p.Label)
+		}
+		labels[p.Label] = true
+	}
+
+	spec, ok := workload.ByName("g721dec")
+	if !ok {
+		t.Fatal("g721dec missing")
+	}
+	rows, err := Sweep(SweepSpec{Points: pts, Benches: []workload.BenchSpec{spec}, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r.Error != "" {
+			t.Fatalf("row %d failed: %s", i, r.Error)
+		}
+		p := pts[i]
+		if r.FUInt != p.Cfg.FUsPerCluster[0] || r.FUFP != p.Cfg.FUsPerCluster[1] || r.FUMem != p.Cfg.FUsPerCluster[2] {
+			t.Errorf("row %d FU mix not denormalized: %+v", i, r)
+		}
+		if r.RegBuses != p.Cfg.RegBuses || r.MSHRs != p.Cfg.MSHRs {
+			t.Errorf("row %d reg-bus/MSHR not denormalized: %+v", i, r)
+		}
+		if r.ABHintK != p.Cfg.HintBudget() {
+			t.Errorf("row %d hint budget = %d, want %d", i, r.ABHintK, p.Cfg.HintBudget())
+		}
+	}
+}
+
+// TestSweepGridHintAxisCollapsesWithoutBuffers: crossing the hint-budget
+// axis with a buffer-less point must not mint duplicate points (or
+// duplicate labels — hints without buffers are not a distinct machine).
+func TestSweepGridHintAxisCollapsesWithoutBuffers(t *testing.T) {
+	grid := SweepGrid{
+		ABEntries: []int{0, 16},
+		ABHintK:   []int{0, 4},
+		Heuristic: sched.IPBC,
+		Unroll:    core.NoUnroll,
+	}
+	pts := grid.Points()
+	// ab=0 collapses to one point; ab=16 crosses with both K values.
+	if len(pts) != 3 {
+		t.Fatalf("grid expanded to %d points, want 3", len(pts))
+	}
+	labels := map[string]bool{}
+	for _, p := range pts {
+		if labels[p.Label] {
+			t.Errorf("duplicate point label %q", p.Label)
+		}
+		labels[p.Label] = true
+	}
+}
+
+// TestMSHRBound: an effectively infinite MSHR depth reproduces the
+// unbounded model exactly, and a depth-1 bound can only slow execution.
+func TestMSHRBound(t *testing.T) {
+	spec, ok := workload.ByName("gsmdec")
+	if !ok {
+		t.Fatal("gsmdec missing")
+	}
+	v := Interleaved("base", sched.IPBC, core.NoUnroll, true, false, false)
+	base, err := RunBench(spec, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := v
+	huge.Cfg.MSHRs = 1 << 20
+	hb, err := RunBench(spec, huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.TotalCycles() != base.TotalCycles() || hb.StallCycles() != base.StallCycles() {
+		t.Errorf("MSHRs=2^20 diverged from unbounded: %d/%d vs %d/%d cycles/stall",
+			hb.TotalCycles(), hb.StallCycles(), base.TotalCycles(), base.StallCycles())
+	}
+	one := v
+	one.Cfg.MSHRs = 1
+	ob, err := RunBench(spec, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ob.TotalCycles() < base.TotalCycles() {
+		t.Errorf("MSHRs=1 sped the machine up: %d < %d cycles", ob.TotalCycles(), base.TotalCycles())
+	}
+}

@@ -3,23 +3,35 @@
 // workload populations) and emits machine-readable rows. Where the figure
 // drivers reproduce the paper's single Table 2 point, Sweep explores the
 // space around it — cluster count, interleaving factor, cache geometry,
-// Attraction Buffer size, bus and memory latencies — one (point × benchmark)
+// functional-unit mix, register buses, Attraction Buffer size and hint
+// budget, MSHR depth, bus and memory latencies — one (point × benchmark)
 // cell per row, fanned across the same bounded worker pool.
+//
+// The engine is a two-stage streaming pipeline. Stage 1 compiles each
+// distinct compile key (see Variant.CompileKey) once into a bounded
+// content-addressed artifact cache shared across cells; stage 2 simulates
+// every cell against its cached artifact. Rows are handed to the consumer
+// in grid order as their cells complete — memory stays bounded by the
+// reorder window and the cache capacity, never by the grid size, so 10^5+
+// cell grids stream in constant space. Output is byte-identical with the
+// cache on or off and for any worker count.
 package experiments
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"ivliw/internal/arch"
 	"ivliw/internal/core"
+	"ivliw/internal/pipeline"
 	"ivliw/internal/sched"
 	"ivliw/internal/stats"
 	"ivliw/internal/workload"
 )
 
 // SweepSpec describes one sweep: the machine/compiler points, the
-// benchmarks, and the pool size.
+// benchmarks, the pool size, and the shared compile cache.
 type SweepSpec struct {
 	// Points are the machine/compiler coordinates of the grid.
 	Points []Variant
@@ -28,6 +40,12 @@ type SweepSpec struct {
 	// Workers is the pool size (<= 0: the SetWorkers/GOMAXPROCS default).
 	// The row values are independent of it; only wall-clock time changes.
 	Workers int
+	// Cache is the compile cache shared by every cell; distinct compile
+	// keys compile once. nil builds a pipeline.DefaultCacheSize-bounded
+	// cache per sweep; pass pipeline.NewCache(0) to disable caching.
+	// Row values are independent of the cache (and its capacity): the
+	// key covers every compile-relevant input.
+	Cache *pipeline.Cache
 }
 
 // SweepRow is the result of one (point × benchmark) cell. Rows marshal to
@@ -46,7 +64,13 @@ type SweepRow struct {
 	CacheBytes       int    `json:"cache_bytes"`
 	Assoc            int    `json:"assoc"`
 	Org              string `json:"org"`
+	FUInt            int    `json:"fu_int"`
+	FUFP             int    `json:"fu_fp"`
+	FUMem            int    `json:"fu_mem"`
+	RegBuses         int    `json:"reg_buses"`
 	ABEntries        int    `json:"ab_entries"` // 0 when Attraction Buffers are off
+	ABHintK          int    `json:"ab_hint_k"`  // effective §5.2 budget; 0 when hints are off
+	MSHRs            int    `json:"mshrs"`      // 0 = unbounded
 	BusCycleRatio    int    `json:"bus_cycle_ratio"`
 	NextLevelLatency int    `json:"next_level_latency"`
 	Heuristic        string `json:"heuristic"`
@@ -70,29 +94,50 @@ type SweepRow struct {
 	BalanceMilli int64 `json:"balance_milli"`
 }
 
-// Sweep evaluates every (point × benchmark) cell of the spec on the worker
-// pool and returns the rows in grid order (points major, benches minor). A
-// failing cell — an invalid configuration, a compile error — yields a row
-// with Error set instead of aborting the sweep, so one bad point costs one
-// cell, not the run. The returned error is reserved for empty specs.
-func Sweep(spec SweepSpec) ([]SweepRow, error) {
+// SweepTo evaluates every (point × benchmark) cell of the spec on the
+// worker pool and streams the rows, in grid order (points major, benches
+// minor), to yield as they become contiguously available. This is the
+// primary sweep entry point: it holds at most a bounded reorder window of
+// completed rows, so grids of 10^5+ cells run in constant memory. A failing
+// cell — an invalid configuration, a compile error — yields a row with
+// Error set instead of aborting the sweep, so one bad point costs one cell,
+// not the run. The returned error is reserved for empty specs and yield
+// failures.
+func SweepTo(spec SweepSpec, yield func(SweepRow) error) error {
 	if len(spec.Points) == 0 || len(spec.Benches) == 0 {
-		return nil, fmt.Errorf("experiments: empty sweep (%d points × %d benches)",
+		return fmt.Errorf("experiments: empty sweep (%d points × %d benches)",
 			len(spec.Points), len(spec.Benches))
 	}
+	cc := spec.Cache
+	if cc == nil {
+		cc = pipeline.NewCache(pipeline.DefaultCacheSize)
+	}
 	nb := len(spec.Benches)
-	rows, err := runCells(len(spec.Points)*nb, spec.Workers, func(i int) (SweepRow, error) {
-		return sweepCell(spec.Points[i/nb], spec.Benches[i%nb]), nil
+	return streamCells(len(spec.Points)*nb, spec.Workers,
+		func(i int) (SweepRow, error) {
+			return sweepCell(spec.Points[i/nb], spec.Benches[i%nb], cc), nil
+		},
+		func(_ int, row SweepRow) error { return yield(row) })
+}
+
+// Sweep collects the streamed rows of SweepTo into a slice, for callers
+// that want the whole grid in memory. Large grids should prefer SweepTo (or
+// EncodeSweepTo) directly.
+func Sweep(spec SweepSpec) ([]SweepRow, error) {
+	rows := make([]SweepRow, 0, len(spec.Points)*len(spec.Benches))
+	err := SweepTo(spec, func(r SweepRow) error {
+		rows = append(rows, r)
+		return nil
 	})
 	if err != nil {
-		// Unreachable: sweepCell folds every failure into its row.
 		return nil, err
 	}
 	return rows, nil
 }
 
-// sweepCell runs one cell, folding any failure into the row.
-func sweepCell(v Variant, bench workload.BenchSpec) SweepRow {
+// sweepCell runs one cell against the shared compile cache, folding any
+// failure into the row.
+func sweepCell(v Variant, bench workload.BenchSpec, cc *pipeline.Cache) SweepRow {
 	row := SweepRow{
 		Point:            v.Label,
 		Bench:            bench.Name,
@@ -102,6 +147,12 @@ func sweepCell(v Variant, bench workload.BenchSpec) SweepRow {
 		CacheBytes:       v.Cfg.CacheBytes,
 		Assoc:            v.Cfg.Assoc,
 		Org:              v.Cfg.Org.String(),
+		FUInt:            v.Cfg.FUsPerCluster[arch.FUInt],
+		FUFP:             v.Cfg.FUsPerCluster[arch.FUFP],
+		FUMem:            v.Cfg.FUsPerCluster[arch.FUMem],
+		RegBuses:         v.Cfg.RegBuses,
+		ABHintK:          v.Cfg.HintBudget(),
+		MSHRs:            v.Cfg.MSHRs,
 		BusCycleRatio:    v.Cfg.BusCycleRatio,
 		NextLevelLatency: v.Cfg.NextLevelLatency,
 		Heuristic:        v.Opt.Heuristic.String(),
@@ -110,9 +161,10 @@ func sweepCell(v Variant, bench workload.BenchSpec) SweepRow {
 	if v.Cfg.AttractionBuffers {
 		row.ABEntries = v.Cfg.ABEntries
 	}
-	// RunBench validates the configuration up front (cache.New), so a bad
-	// machine point surfaces here as this row's error.
-	b, err := RunBench(bench, v)
+	// runBenchCached validates the full configuration before touching the
+	// cache, so a bad machine point surfaces here as this row's error —
+	// identically with the cache on or off.
+	b, err := runBenchCached(bench, v, cc)
 	if err != nil {
 		row.Error = err.Error()
 		return row
@@ -133,9 +185,25 @@ func sweepCell(v Variant, bench workload.BenchSpec) SweepRow {
 	return row
 }
 
-// EncodeSweep renders the rows as one JSON object per line (JSONL), the
-// machine-readable format ivliw-bench -sweep emits. The encoding is
-// deterministic: grid order, fixed field order, integral counters.
+// EncodeSweepTo runs the sweep and writes one JSON object per line (JSONL)
+// to w, encoding each row as its in-order cell completes — the streaming
+// form behind `ivliw-bench -sweep`. The byte stream is deterministic: grid
+// order, fixed field order, integral counters, independent of worker count
+// and cache capacity.
+func EncodeSweepTo(spec SweepSpec, w io.Writer) error {
+	return SweepTo(spec, func(r SweepRow) error {
+		b, err := json.Marshal(&r)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = w.Write(b)
+		return err
+	})
+}
+
+// EncodeSweep renders already-collected rows as JSONL, byte-identical to
+// what EncodeSweepTo streams for the same cells.
 func EncodeSweep(rows []SweepRow) ([]byte, error) {
 	var out []byte
 	for i := range rows {
@@ -163,57 +231,103 @@ type SweepGrid struct {
 	// BusCycleRatio and NextLevelLatency sweep the communication axes.
 	BusCycleRatio    []int
 	NextLevelLatency []int
+	// FUs sweeps the per-cluster functional-unit mix, indexed by
+	// arch.FUInt/FUFP/FUMem.
+	FUs [][arch.NumFUKinds]int
+	// RegBuses sweeps the register-to-register bus count.
+	RegBuses []int
+	// MSHRs sweeps the outstanding-fill bound (0 = unbounded).
+	MSHRs []int
+	// ABHintK sweeps the §5.2 hint budget: 0 leaves hints off, a positive
+	// K enables ABHints with that budget. The axis only applies to points
+	// whose ABEntries axis enables the buffers; buffer-less points are
+	// kept once instead of being duplicated per K (hints without buffers
+	// are not a distinct machine).
+	ABHintK []int
 	// Heuristic and Unroll fix the compiler configuration of every point.
 	Heuristic sched.Heuristic
 	Unroll    core.UnrollMode
 }
 
-// axis returns vs, or the fallback as a single-element axis.
-func axis(vs []int, fallback int) []int {
-	if len(vs) == 0 {
-		return []int{fallback}
-	}
-	return vs
-}
-
 // Points expands the grid into sweep points labeled by their configuration
-// ID. Invalid combinations (for example an interleaving factor that does not
+// ID, in row-major axis order (Clusters outermost, ABHintK innermost).
+// Invalid combinations (for example an interleaving factor that does not
 // divide the block size across the clusters) are kept: they surface as
 // per-cell errors in the sweep rows, documenting the infeasible region of
 // the space instead of silently shrinking it.
 func (g SweepGrid) Points() []Variant {
 	def := arch.Default()
-	var points []Variant
-	for _, nc := range axis(g.Clusters, def.Clusters) {
-		for _, il := range axis(g.Interleave, def.Interleave) {
-			for _, cb := range axis(g.CacheBytes, def.CacheBytes) {
-				for _, as := range axis(g.Assoc, def.Assoc) {
-					for _, ab := range axis(g.ABEntries, 0) {
-						for _, bus := range axis(g.BusCycleRatio, def.BusCycleRatio) {
-							for _, nl := range axis(g.NextLevelLatency, def.NextLevelLatency) {
-								cfg := def
-								cfg.Clusters = nc
-								cfg.Interleave = il
-								cfg.CacheBytes = cb
-								cfg.Assoc = as
-								cfg.AttractionBuffers = ab > 0
-								if ab > 0 {
-									cfg.ABEntries = ab
-								}
-								cfg.BusCycleRatio = bus
-								cfg.NextLevelLatency = nl
-								points = append(points, Variant{
-									Label:   cfg.ID(),
-									Cfg:     cfg,
-									Opt:     core.Options{Heuristic: g.Heuristic, Unroll: g.Unroll},
-									Aligned: true,
-								})
-							}
-						}
-					}
-				}
+	cfgs := []arch.Config{def}
+	// expandN crosses the current point set with one n-valued axis; n = 0
+	// keeps every point's current (Table 2) value.
+	expandN := func(n int, set func(*arch.Config, int)) {
+		if n == 0 {
+			return
+		}
+		next := make([]arch.Config, 0, len(cfgs)*n)
+		for _, c := range cfgs {
+			for i := 0; i < n; i++ {
+				nc := c
+				set(&nc, i)
+				next = append(next, nc)
 			}
 		}
+		cfgs = next
+	}
+	expand := func(vals []int, set func(*arch.Config, int)) {
+		expandN(len(vals), func(c *arch.Config, i int) { set(c, vals[i]) })
+	}
+	expand(g.Clusters, func(c *arch.Config, v int) { c.Clusters = v })
+	expand(g.Interleave, func(c *arch.Config, v int) { c.Interleave = v })
+	expand(g.CacheBytes, func(c *arch.Config, v int) { c.CacheBytes = v })
+	expand(g.Assoc, func(c *arch.Config, v int) { c.Assoc = v })
+	// The AB axis keeps the historical default of "off" rather than the
+	// Table 2 entry count: sweeping nothing sweeps the paper point.
+	ab := g.ABEntries
+	if len(ab) == 0 {
+		ab = []int{0}
+	}
+	expand(ab, func(c *arch.Config, v int) {
+		c.AttractionBuffers = v > 0
+		if v > 0 {
+			c.ABEntries = v
+		}
+	})
+	expand(g.BusCycleRatio, func(c *arch.Config, v int) { c.BusCycleRatio = v })
+	expand(g.NextLevelLatency, func(c *arch.Config, v int) { c.NextLevelLatency = v })
+	expandN(len(g.FUs), func(c *arch.Config, i int) { c.FUsPerCluster = g.FUs[i] })
+	expand(g.RegBuses, func(c *arch.Config, v int) { c.RegBuses = v })
+	expand(g.MSHRs, func(c *arch.Config, v int) { c.MSHRs = v })
+	if len(g.ABHintK) > 0 {
+		next := make([]arch.Config, 0, len(cfgs)*len(g.ABHintK))
+		for _, c := range cfgs {
+			if !c.AttractionBuffers {
+				// Hints need buffers: crossing K with a buffer-less
+				// point would mint duplicate points (and duplicate
+				// Config.ID labels) that differ in nothing.
+				next = append(next, c)
+				continue
+			}
+			for _, v := range g.ABHintK {
+				nc := c
+				nc.ABHints = v > 0
+				if v > 0 {
+					nc.ABHintK = v
+				}
+				next = append(next, nc)
+			}
+		}
+		cfgs = next
+	}
+
+	points := make([]Variant, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		points = append(points, Variant{
+			Label:   cfg.ID(),
+			Cfg:     cfg,
+			Opt:     core.Options{Heuristic: g.Heuristic, Unroll: g.Unroll},
+			Aligned: true,
+		})
 	}
 	return points
 }

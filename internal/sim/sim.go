@@ -129,6 +129,10 @@ func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
 	busFree := make([]int64, cfg.MemBuses)
 	portFree := make([]int64, cfg.NextLevelPorts)
 	pending := map[int64]mshr{} // subblock key -> outstanding request
+	var fills *mshrPool         // bounded fill slots; nil when MSHRs = 0 (unbounded)
+	if interleaved && cfg.MSHRs > 0 {
+		fills = &mshrPool{cap: cfg.MSHRs}
+	}
 
 	// acquire models queuing on a resource pool: the transfer starts when
 	// the earliest-free unit is available and holds it for `hold` cycles.
@@ -177,6 +181,10 @@ func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
 				}
 			}
 
+			// Bounded MSHRs: an access that will allocate a fill slot
+			// (anything that leaves a request outstanding) waits until a
+			// slot frees; the wait delays the whole access.
+			var mshrWait int64
 			r := hier.Access(mi.cluster, addr, mi.store, mi.attract)
 			if interleaved && in.Mem.Gran > cfg.Interleave {
 				// An element bigger than the interleaving factor
@@ -188,6 +196,10 @@ func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
 				case arch.LocalMiss:
 					r.Class = arch.RemoteMiss
 				}
+			}
+			if fills != nil && r.Class != arch.LocalHit {
+				mshrWait = fills.reserve(t)
+				t += mshrWait
 			}
 			switch cfg.Org {
 			case arch.Unified:
@@ -220,6 +232,9 @@ func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
 				}
 				if interleaved && class != stats.LHit {
 					pending[sbKey] = mshr{completion: t + actual}
+					if fills != nil {
+						fills.add(t + actual)
+					}
 				}
 			}
 			out.Accesses[class]++
@@ -227,7 +242,7 @@ func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
 			if class == stats.RHit {
 				causes = rhCauses(s, cfg, meta, mi.id, mi.cluster)
 			}
-			stalled += stallAndAttribute(out, mi.tolerance, mi.hasCons, actual, class, causes)
+			stalled += stallAndAttribute(out, mi.tolerance, mi.hasCons, actual+mshrWait, class, causes)
 		}
 	}
 }
@@ -307,6 +322,66 @@ func (m *eventMerge) siftDown(i int) {
 			min = l
 		}
 		if r < len(h) && h[r].before(h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// mshrPool models a bounded set of outstanding-fill slots (MSHRs) as a
+// binary min-heap of completion times. reserve pops expired fills and, when
+// every slot is still live, returns the wait until the earliest one frees
+// (consuming it); add registers a new outstanding fill.
+type mshrPool struct {
+	completions []int64
+	cap         int
+}
+
+// reserve returns the extra cycles an access issued at t must wait for a
+// free fill slot (0 when one is available).
+func (p *mshrPool) reserve(t int64) int64 {
+	for len(p.completions) > 0 && p.completions[0] <= t {
+		p.pop()
+	}
+	if len(p.completions) < p.cap {
+		return 0
+	}
+	wait := p.completions[0] - t
+	p.pop()
+	return wait
+}
+
+// add registers an outstanding fill completing at the given cycle.
+func (p *mshrPool) add(completion int64) {
+	p.completions = append(p.completions, completion)
+	i := len(p.completions) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if p.completions[parent] <= p.completions[i] {
+			break
+		}
+		p.completions[parent], p.completions[i] = p.completions[i], p.completions[parent]
+		i = parent
+	}
+}
+
+func (p *mshrPool) pop() {
+	h := p.completions
+	h[0] = h[len(h)-1]
+	h = h[:len(h)-1]
+	p.completions = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l] < h[min] {
+			min = l
+		}
+		if r < len(h) && h[r] < h[min] {
 			min = r
 		}
 		if min == i {

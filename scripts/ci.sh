@@ -4,13 +4,15 @@
 # Runs, in order:
 #   1. go build ./...
 #   2. go vet ./...
-#   3. go test -race ./...       (includes the runCells failure-determinism
-#                                 and sweep worker-invariance tests)
+#   3. go test -race ./...       (includes the runCells/streamCells
+#                                 determinism and compile-key property tests)
 #   4. byte-identity of `ivliw-bench -exp all` against the committed golden
 #      transcript (cmd/ivliw-bench/testdata/exp_all.golden), so any drift in
 #      the paper reproduction is caught before it lands
-#   5. sweep determinism: `ivliw-bench -sweep` must emit identical JSON for
-#      -workers 1 and -workers 7
+#   5. sweep determinism: `ivliw-bench -sweep` must emit identical JSON
+#      across worker counts (1 vs 8) AND across the compiled-schedule cache
+#      being disabled (-compile-cache 0) vs enabled — the staged pipeline's
+#      byte-identity invariant
 #
 # Usage: scripts/ci.sh
 # To refresh the golden transcript after an *intentional* output change:
@@ -40,18 +42,44 @@ if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
 fi
 echo "byte-identical"
 
-echo "== 5/5 sweep determinism across worker counts =="
-"$tmp/ivliw-bench" -sweep -workers 1 > "$tmp/sweep1.jsonl"
-"$tmp/ivliw-bench" -sweep -workers 7 > "$tmp/sweep7.jsonl"
-if ! cmp -s "$tmp/sweep1.jsonl" "$tmp/sweep7.jsonl"; then
-  echo "FAIL: -sweep output depends on -workers" >&2
+echo "== 5/5 sweep determinism across workers and compile cache =="
+# run_sweep keeps stderr (cache-stats noise, but also any crash) in a log
+# that is replayed if the invocation fails.
+run_sweep() { # out_file, args...
+  local out="$1"; shift
+  if ! "$tmp/ivliw-bench" -sweep "$@" > "$out" 2> "$tmp/sweep_stderr.log"; then
+    echo "FAIL: ivliw-bench -sweep $* crashed:" >&2
+    cat "$tmp/sweep_stderr.log" >&2
+    exit 1
+  fi
+}
+# Reference: serial, no schedule cache (every cell compiles from scratch).
+run_sweep "$tmp/sweep_ref.jsonl" -workers 1 -compile-cache 0
+# Parallel with the default cache: must be byte-identical to the reference.
+run_sweep "$tmp/sweep_cache8.jsonl" -workers 8
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/sweep_cache8.jsonl"; then
+  echo "FAIL: -sweep output depends on -compile-cache/-workers (cache on, 8 workers)" >&2
   exit 1
 fi
-rows=$(wc -l < "$tmp/sweep1.jsonl")
+# Serial with the cache and parallel without it cover the remaining corners.
+run_sweep "$tmp/sweep_cache1.jsonl" -workers 1
+run_sweep "$tmp/sweep_nocache8.jsonl" -workers 8 -compile-cache 0
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/sweep_cache1.jsonl" || \
+   ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/sweep_nocache8.jsonl"; then
+  echo "FAIL: -sweep output depends on -compile-cache or -workers" >&2
+  exit 1
+fi
+# Streaming to -out must produce the same bytes as stdout.
+run_sweep /dev/null -workers 8 -out "$tmp/sweep_file.jsonl"
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/sweep_file.jsonl"; then
+  echo "FAIL: -sweep -out differs from stdout stream" >&2
+  exit 1
+fi
+rows=$(wc -l < "$tmp/sweep_ref.jsonl")
 if [ "$rows" -lt 12 ]; then
   echo "FAIL: default sweep produced only $rows rows (< 12)" >&2
   exit 1
 fi
-echo "deterministic ($rows rows)"
+echo "deterministic ($rows rows; workers 1/8 × cache on/off × stdout/-out)"
 
 echo "CI PASS"
