@@ -6,9 +6,9 @@ import (
 
 	"ivliw"
 	"ivliw/internal/experiments"
-	"ivliw/internal/pipeline"
 	"ivliw/internal/stats"
 	"ivliw/internal/workload"
+	"ivliw/sweep"
 )
 
 // The benchmarks below regenerate every table and figure of the paper's
@@ -309,40 +309,36 @@ func BenchmarkInterleaveSweep(b *testing.B) {
 	}
 }
 
-// benchmarkSweepCache measures design-sweep throughput (cells/s) on a grid
-// whose AB and MSHR axes are simulate-only — four machine points per
-// compile key — with the compiled-schedule cache at the given capacity
-// (0 = every cell compiles from scratch, the pre-pipeline behaviour).
-func benchmarkSweepCache(b *testing.B, capacity int) {
-	grid := experiments.SweepGrid{
-		Clusters:  []int{2, 4},
-		ABEntries: []int{0, 16},
-		MSHRs:     []int{0, 8},
-		Heuristic: ivliw.IPBC,
-		Unroll:    ivliw.Selective,
+// sweepBenchSpec is the benchmark grid shared by the sweep benchmarks: the
+// AB and MSHR axes are simulate-only — four machine points per compile key.
+func sweepBenchSpec(memory int) sweep.Spec {
+	return sweep.Spec{
+		Grid: sweep.Grid{
+			Clusters:  []int{2, 4},
+			ABEntries: []int{0, 16},
+			MSHRs:     []int{0, 8},
+		},
+		Workloads: sweep.Workloads{Bench: []string{"gsmdec", "g721dec"}},
+		Compile:   sweep.Compile{Heuristic: "IPBC", Unroll: "selective"},
+		Store:     sweep.Store{Memory: memory},
 	}
-	var benches []workload.BenchSpec
-	for _, name := range []string{"gsmdec", "g721dec"} {
-		spec, ok := workload.ByName(name)
-		if !ok {
-			b.Fatalf("benchmark %q missing", name)
-		}
-		benches = append(benches, spec)
-	}
-	points := grid.Points()
-	cells := len(points) * len(benches)
+}
+
+// benchmarkSweepCache measures design-sweep throughput (cells/s) with the
+// in-memory compiled-schedule cache at the given capacity (< 0 = every cell
+// compiles from scratch, the pre-pipeline behaviour).
+func benchmarkSweepCache(b *testing.B, memory int) {
+	spec := sweepBenchSpec(memory)
+	const cells = 16 // 8 points × 2 benchmarks
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Sweep(experiments.SweepSpec{
-			Points:  points,
-			Benches: benches,
-			Cache:   pipeline.NewCache(capacity),
-		})
+		var rows sweep.Collector
+		st, err := sweep.Run(spec, &rows)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(rows) != cells {
-			b.Fatalf("%d rows, want %d", len(rows), cells)
+		if st.Rows != cells || len(rows.Rows) != cells {
+			b.Fatalf("%d rows, want %d", len(rows.Rows), cells)
 		}
 	}
 	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
@@ -351,11 +347,51 @@ func benchmarkSweepCache(b *testing.B, capacity int) {
 // BenchmarkSweepCompileCacheOn: the staged pipeline sharing schedule
 // artifacts across the simulate-only axes.
 func BenchmarkSweepCompileCacheOn(b *testing.B) {
-	benchmarkSweepCache(b, pipeline.DefaultCacheSize)
+	benchmarkSweepCache(b, 0) // 0 = the default capacity
 }
 
 // BenchmarkSweepCompileCacheOff: every cell recompiles (the reference the
 // byte-identity gate compares against).
 func BenchmarkSweepCompileCacheOff(b *testing.B) {
-	benchmarkSweepCache(b, 0)
+	benchmarkSweepCache(b, -1)
 }
+
+// benchmarkSweepDisk measures the same grid against the persistent artifact
+// store, with the in-memory tier disabled so every cell hits the disk path.
+func benchmarkSweepDisk(b *testing.B, warm bool) {
+	spec := sweepBenchSpec(-1)
+	spec.Store.Dir = b.TempDir()
+	const cells = 16
+	if warm {
+		if _, err := sweep.Run(spec, sweep.Func(func(sweep.Row) error { return nil })); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !warm {
+			b.StopTimer()
+			spec.Store.Dir = b.TempDir()
+			b.StartTimer()
+		}
+		st, err := sweep.Run(spec, sweep.Func(func(sweep.Row) error { return nil }))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Rows != cells {
+			b.Fatalf("%d rows, want %d", st.Rows, cells)
+		}
+		if warm && st.DiskMisses != 0 {
+			b.Fatalf("warm store compiled %d artifacts", st.DiskMisses)
+		}
+	}
+	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkSweepDiskStoreCold: first run against an empty artifact
+// directory (every key compiles and persists).
+func BenchmarkSweepDiskStoreCold(b *testing.B) { benchmarkSweepDisk(b, false) }
+
+// BenchmarkSweepDiskStoreWarm: repeated run against a populated artifact
+// directory (every key loads from disk; nothing compiles).
+func BenchmarkSweepDiskStoreWarm(b *testing.B) { benchmarkSweepDisk(b, true) }

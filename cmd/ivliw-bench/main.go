@@ -16,32 +16,41 @@
 //	            [-sweep-bench gsmdec,jpegenc,mpeg2dec|all]
 //	            [-sweep-synth 4] [-sweep-seed 1]
 //	            [-sweep-heuristic IPBC] [-sweep-unroll selective]
-//	            [-compile-cache 256] [-out sweep.jsonl]
+//	            [-compile-cache 256] [-artifact-dir DIR]
+//	            [-shard i/n] [-out sweep.jsonl] [-spec-out run.json]
+//	ivliw-bench -spec run.json [-shard i/n] [-artifact-dir DIR]
+//	            [-out shard.jsonl]
+//
+// The sweep flags are a thin front end over the public ivliw/sweep package:
+// they parse into a declarative, serializable sweep.Spec. -spec-out writes
+// that spec as JSON (without running), -spec runs a previously written spec
+// file, so a run is a reproducible artifact instead of flag soup. -shard
+// i/n evaluates the i-th of n contiguous row slices — the concatenation of
+// all shards' outputs is byte-identical to the unsharded run — and
+// -artifact-dir layers the compile cache over a persistent
+// content-addressed artifact store so repeated and sharded runs start warm.
 //
 // Sweeps run as a two-stage streaming pipeline: distinct compile keys are
-// compiled once into a bounded content-addressed schedule cache
-// (-compile-cache artifacts; 0 disables) and rows are written to -out
-// (default stdout) as their in-order cells complete, so memory stays
-// bounded for arbitrarily large grids. The byte stream is identical with
-// the cache on or off and for any -workers count.
+// compiled once into the artifact store (-compile-cache memory artifacts, 0
+// disables; plus the optional -artifact-dir disk tier) and rows are written
+// to -out (default stdout) as their in-order cells complete, so memory
+// stays bounded for arbitrarily large grids. The byte stream is identical
+// for any store configuration and any -workers count.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"ivliw/internal/arch"
-	"ivliw/internal/core"
 	"ivliw/internal/experiments"
 	"ivliw/internal/pipeline"
-	"ivliw/internal/sched"
-	"ivliw/internal/workload"
+	"ivliw/sweep"
 )
 
 func main() {
@@ -49,7 +58,7 @@ func main() {
 	log.SetPrefix("ivliw-bench: ")
 	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, fig7, fig8, headlines or all")
 	workers := flag.Int("workers", 0, "worker pool size for the (benchmark × variant) grids (0: GOMAXPROCS)")
-	sweep := flag.Bool("sweep", false, "run the design-space sweep instead of -exp and emit JSON rows")
+	sweepMode := flag.Bool("sweep", false, "run the design-space sweep instead of -exp and emit JSON rows")
 	sweepClusters := flag.String("sweep-clusters", "2,4,8", "sweep axis: cluster counts")
 	sweepInterleave := flag.String("sweep-interleave", "4", "sweep axis: interleaving factors in bytes")
 	sweepCacheKB := flag.String("sweep-cache-kb", "8", "sweep axis: total L1 capacities in KB")
@@ -66,47 +75,149 @@ func main() {
 	sweepSeed := flag.Uint64("sweep-seed", 1, "base seed of the synthetic workload generator")
 	sweepHeuristic := flag.String("sweep-heuristic", "IPBC", "cluster heuristic of every sweep point: BASE, IBC or IPBC")
 	sweepUnroll := flag.String("sweep-unroll", "selective", "unrolling of every sweep point: none, xN, OUF or selective")
-	compileCache := flag.Int("compile-cache", pipeline.DefaultCacheSize, "compiled-schedule cache capacity in artifacts (0 disables; output is identical either way)")
-	out := flag.String("out", "", "write -sweep JSONL rows to this file instead of stdout")
+	compileCache := flag.Int("compile-cache", pipeline.DefaultCacheSize, "in-memory compiled-schedule cache capacity in artifacts (0 disables; output is identical either way)")
+	artifactDir := flag.String("artifact-dir", "", "persist compiled schedule artifacts in this directory (content-addressed; repeated and sharded sweeps start warm)")
+	shardFlag := flag.String("shard", "", "evaluate shard i/n of the sweep grid (e.g. 0/3); concatenating all shards' outputs reproduces the unsharded run byte-for-byte")
+	specPath := flag.String("spec", "", "run the sweep described by this spec file (JSON, see -spec-out) instead of the -sweep-* flags")
+	specOut := flag.String("spec-out", "", "write the sweep spec as JSON to this file and exit without running")
+	out := flag.String("out", "", "write sweep JSONL rows to this file instead of stdout")
 	flag.Parse()
-	if *workers < 0 {
-		fmt.Fprintf(flag.CommandLine.Output(), "ivliw-bench: -workers must be >= 0, got %d\n", *workers)
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(flag.CommandLine.Output(), "ivliw-bench: "+format+"\n", args...)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *workers < 0 {
+		usageErr("-workers must be >= 0, got %d", *workers)
 	}
 	if *compileCache < 0 {
-		fmt.Fprintf(flag.CommandLine.Output(), "ivliw-bench: -compile-cache must be >= 0, got %d\n", *compileCache)
-		flag.Usage()
-		os.Exit(2)
+		usageErr("-compile-cache must be >= 0, got %d", *compileCache)
+	}
+	shard, err := parseShard(*shardFlag)
+	if err != nil {
+		usageErr("%v", err)
 	}
 	experiments.SetWorkers(*workers)
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
-	if *sweep {
-		err := runSweep(sweepOptions{
-			clusters:     *sweepClusters,
-			interleave:   *sweepInterleave,
-			cacheKB:      *sweepCacheKB,
-			assoc:        *sweepAssoc,
-			ab:           *sweepAB,
-			bus:          *sweepBus,
-			memLat:       *sweepMemLat,
-			fus:          *sweepFUs,
-			regBus:       *sweepRegBus,
-			mshr:         *sweepMSHR,
-			abK:          *sweepABK,
-			bench:        *sweepBench,
-			synth:        *sweepSynth,
-			seed:         *sweepSeed,
-			heuristic:    *sweepHeuristic,
-			unroll:       *sweepUnroll,
-			workers:      *workers,
-			compileCache: *compileCache,
-			out:          *out,
-		})
-		if err != nil {
+	if *sweepMode || *specPath != "" || *specOut != "" {
+		if set["exp"] {
+			usageErr("-exp cannot be combined with -sweep/-spec/-spec-out")
+		}
+		var spec sweep.Spec
+		if *specPath != "" {
+			// A spec file is the whole grid/workload/compiler description;
+			// mixing it with the flag-soup axes would silently ignore one
+			// of the two, so reject the combination outright. Every axis
+			// flag (and only axis flags) carries the sweep- prefix, so the
+			// guard stays correct as axes are added.
+			for _, name := range sortedNames(set) {
+				if strings.HasPrefix(name, "sweep-") {
+					usageErr("-%s cannot be combined with -spec (edit the spec file instead)", name)
+				}
+			}
+			var err error
+			if spec, err = sweep.LoadSpec(*specPath); err != nil {
+				log.Fatal(err)
+			}
+			// Per-process knobs may override the file: the same spec drives
+			// every shard of a multi-process run.
+			if set["workers"] {
+				spec.Workers = *workers
+			}
+			if set["compile-cache"] {
+				spec.Store.Memory = memoryCapacity(*compileCache)
+			}
+			if set["artifact-dir"] {
+				spec.Store.Dir = *artifactDir
+			}
+			if set["out"] {
+				spec.Output.Path = *out
+			}
+			if set["shard"] {
+				spec.Shard = shard
+			}
+		} else {
+			var err error
+			spec, err = specFromFlags(sweepOptions{
+				cacheSet:     set["compile-cache"],
+				clusters:     *sweepClusters,
+				interleave:   *sweepInterleave,
+				cacheKB:      *sweepCacheKB,
+				assoc:        *sweepAssoc,
+				bus:          *sweepBus,
+				memLat:       *sweepMemLat,
+				ab:           *sweepAB,
+				fus:          *sweepFUs,
+				regBus:       *sweepRegBus,
+				mshr:         *sweepMSHR,
+				abK:          *sweepABK,
+				bench:        *sweepBench,
+				synth:        *sweepSynth,
+				seed:         *sweepSeed,
+				heuristic:    *sweepHeuristic,
+				unroll:       *sweepUnroll,
+				workers:      *workers,
+				compileCache: *compileCache,
+				artifactDir:  *artifactDir,
+				shard:        shard,
+				out:          *out,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *specOut != "" {
+			// Validate before writing: a captured spec file must be
+			// runnable. The run path below leaves validation to sweep.Run,
+			// which resolves the spec exactly once.
+			if err := spec.Validate(); err != nil {
+				log.Fatal(err)
+			}
+			data, err := spec.Encode()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*specOut, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			// Captured per-process knobs are easy to forget: a pinned shard
+			// silently evaluates one slice only, and a pinned output path
+			// makes concurrent shard runs clobber one file.
+			if spec.Shard.Count > 1 {
+				log.Printf("note: %s pins shard %d/%d; override per process with -shard",
+					*specOut, spec.Shard.Index, spec.Shard.Count)
+			}
+			if spec.Output.Path != "" {
+				log.Printf("note: %s pins output %q; give each shard its own -out",
+					*specOut, spec.Output.Path)
+			}
+			return
+		}
+		if spec.Shard.Count > 1 && spec.Output.Path != "" && !set["out"] {
+			// Every shard of this spec writes the same file; concurrent
+			// shards would truncate each other's rows.
+			log.Printf("warning: shard %d/%d writes the spec's pinned output %q; give each shard its own -out",
+				spec.Shard.Index, spec.Shard.Count, spec.Output.Path)
+		}
+		if err := runSweep(spec); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+
+	// The -exp experiments ignore the sweep-only flags; silently accepting
+	// them (e.g. -shard on three hosts triplicating work, or -compile-cache
+	// 0 "disabling" a cache the figure drivers never consult) would
+	// misconfigure without a word, so reject the combination like the
+	// -spec/-sweep-* one.
+	for _, name := range sortedNames(set) {
+		sweepOnly := name == "shard" || name == "artifact-dir" || name == "out" ||
+			name == "compile-cache" || strings.HasPrefix(name, "sweep-")
+		if sweepOnly {
+			usageErr("-%s only applies to sweeps (add -sweep or -spec)", name)
+		}
 	}
 
 	runners := map[string]func() error{
@@ -263,7 +374,7 @@ func headlines() error {
 	return nil
 }
 
-// sweepOptions carries the parsed -sweep-* flag values.
+// sweepOptions carries the parsed sweep flag values.
 type sweepOptions struct {
 	clusters, interleave, cacheKB, assoc, ab, bus, memLat string
 	fus, regBus, mshr, abK                                string
@@ -273,114 +384,165 @@ type sweepOptions struct {
 	heuristic, unroll                                     string
 	workers                                               int
 	compileCache                                          int
+	cacheSet                                              bool // -compile-cache explicitly set
+	artifactDir                                           string
+	shard                                                 sweep.Shard
 	out                                                   string
 }
 
-// runSweep expands the flag grid, resolves the benchmarks, and streams the
-// sweep's JSON lines to -out (stdout by default): each row is encoded as
-// its in-order cell completes, with distinct compile keys compiled once
-// into the shared schedule cache. Cache effectiveness is reported on
-// stderr; the row stream itself is byte-identical for any cache capacity
-// and worker count.
-func runSweep(o sweepOptions) error {
-	grid := experiments.SweepGrid{}
+// sortedNames returns the explicitly-set flag names in a fixed order, so
+// conflict errors are reproducible when several offending flags are set.
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// memoryCapacity maps the -compile-cache flag (0 = disabled) onto the spec
+// encoding (0 = default capacity, negative = disabled).
+func memoryCapacity(flag int) int {
+	if flag == 0 {
+		return -1
+	}
+	return flag
+}
+
+// specFromFlags translates the legacy flag soup into the declarative spec
+// the public sweep package runs — the same mapping -spec-out serializes, so
+// a flag invocation and its captured spec file are byte-identical runs.
+func specFromFlags(o sweepOptions) (sweep.Spec, error) {
+	spec := sweep.Spec{
+		Workers: o.workers,
+		Shard:   o.shard,
+		Store:   sweep.Store{Dir: o.artifactDir},
+		Output:  sweep.Output{Path: o.out},
+	}
+	if o.cacheSet {
+		// Only an explicit -compile-cache is baked into the spec; leaving
+		// Memory at 0 keeps captured files tracking the library default.
+		spec.Store.Memory = memoryCapacity(o.compileCache)
+	}
 	for _, ax := range []struct {
 		name     string
 		csv      string
 		dst      *[]int
 		optional bool
 	}{
-		{"-sweep-clusters", o.clusters, &grid.Clusters, false},
-		{"-sweep-interleave", o.interleave, &grid.Interleave, false},
-		{"-sweep-cache-kb", o.cacheKB, &grid.CacheBytes, false},
-		{"-sweep-assoc", o.assoc, &grid.Assoc, false},
-		{"-sweep-ab", o.ab, &grid.ABEntries, false},
-		{"-sweep-bus", o.bus, &grid.BusCycleRatio, false},
-		{"-sweep-mem-lat", o.memLat, &grid.NextLevelLatency, false},
-		{"-sweep-reg-bus", o.regBus, &grid.RegBuses, true},
-		{"-sweep-mshr", o.mshr, &grid.MSHRs, true},
-		{"-sweep-ab-k", o.abK, &grid.ABHintK, true},
+		{"-sweep-clusters", o.clusters, &spec.Grid.Clusters, false},
+		{"-sweep-interleave", o.interleave, &spec.Grid.Interleave, false},
+		{"-sweep-cache-kb", o.cacheKB, &spec.Grid.CacheBytes, false},
+		{"-sweep-assoc", o.assoc, &spec.Grid.Assoc, false},
+		{"-sweep-ab", o.ab, &spec.Grid.ABEntries, false},
+		{"-sweep-bus", o.bus, &spec.Grid.BusCycleRatio, false},
+		{"-sweep-mem-lat", o.memLat, &spec.Grid.NextLevelLatency, false},
+		{"-sweep-reg-bus", o.regBus, &spec.Grid.RegBuses, true},
+		{"-sweep-mshr", o.mshr, &spec.Grid.MSHRs, true},
+		{"-sweep-ab-k", o.abK, &spec.Grid.ABHintK, true},
 	} {
 		if ax.optional && strings.TrimSpace(ax.csv) == "" {
 			continue // empty axis: keep the Table 2 value
 		}
 		vs, err := parseIntList(ax.csv)
 		if err != nil {
-			return fmt.Errorf("%s: %w", ax.name, err)
+			return sweep.Spec{}, fmt.Errorf("%s: %w", ax.name, err)
 		}
 		*ax.dst = vs
 	}
-	for i, kb := range grid.CacheBytes {
-		grid.CacheBytes[i] = kb * 1024
+	for i, kb := range spec.Grid.CacheBytes {
+		spec.Grid.CacheBytes[i] = kb * 1024
 	}
 	var err error
-	if grid.FUs, err = parseFUList(o.fus); err != nil {
-		return fmt.Errorf("-sweep-fus: %w", err)
+	if spec.Grid.FUs, err = parseFUList(o.fus); err != nil {
+		return sweep.Spec{}, fmt.Errorf("-sweep-fus: %w", err)
 	}
-	if grid.Heuristic, err = parseHeuristic(o.heuristic); err != nil {
-		return err
-	}
-	if grid.Unroll, err = parseUnroll(o.unroll); err != nil {
-		return err
-	}
+	spec.Compile = sweep.Compile{Heuristic: o.heuristic, Unroll: o.unroll}
 
-	benches, err := resolveBenches(o.bench, o.synth, o.seed)
+	switch strings.ToLower(strings.TrimSpace(o.bench)) {
+	case "all":
+		spec.Workloads.Bench = []string{"all"}
+	case "", "none":
+	default:
+		for _, name := range strings.Split(o.bench, ",") {
+			spec.Workloads.Bench = append(spec.Workloads.Bench, strings.TrimSpace(name))
+		}
+	}
+	if o.synth < 0 {
+		return sweep.Spec{}, fmt.Errorf("-sweep-synth must be >= 0, got %d", o.synth)
+	}
+	if o.synth > 0 {
+		spec.Workloads.SynthCount = o.synth
+		spec.Workloads.SynthSeed = o.seed
+	}
+	return spec, nil
+}
+
+// parseShard parses the -shard i/n syntax into a shard ("" = unsharded).
+func parseShard(s string) (sweep.Shard, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return sweep.Shard{}, nil
+	}
+	idx, count, ok := strings.Cut(s, "/")
+	if !ok {
+		return sweep.Shard{}, fmt.Errorf("-shard must be i/n (e.g. 0/3), got %q", s)
+	}
+	i, err := strconv.Atoi(strings.TrimSpace(idx))
+	if err != nil {
+		return sweep.Shard{}, fmt.Errorf("-shard index %q: want an integer", idx)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(count))
+	if err != nil {
+		return sweep.Shard{}, fmt.Errorf("-shard count %q: want an integer", count)
+	}
+	if n < 1 {
+		return sweep.Shard{}, fmt.Errorf("-shard count must be >= 1, got %d", n)
+	}
+	if i < 0 || i >= n {
+		return sweep.Shard{}, fmt.Errorf("-shard index must be in [0, %d), got %d", n, i)
+	}
+	return sweep.Shard{Index: i, Count: n}, nil
+}
+
+// runSweep executes the spec, streaming its JSON lines to the spec's output
+// path (stdout by default): each row is encoded as its in-order cell
+// completes, with distinct compile keys compiled once into the artifact
+// store. Store effectiveness is reported on stderr; the row stream itself
+// is byte-identical for any store configuration and worker count.
+func runSweep(spec sweep.Spec) error {
+	st, err := sweep.Run(spec, nil) // nil sink: buffered JSONL to Output.Path/stdout
 	if err != nil {
 		return err
 	}
-
-	var w io.Writer = os.Stdout
-	var f *os.File
-	if o.out != "" {
-		var err error
-		if f, err = os.Create(o.out); err != nil {
-			return err
-		}
-		w = f
+	log.Printf("compile cache: %d hits, %d misses, %d evictions", st.MemHits, st.MemMisses, st.MemEvictions)
+	if spec.Store.Dir != "" {
+		log.Printf("artifact store %s: %d hits, %d compiles, %d writes, %d write errors",
+			spec.Store.Dir, st.DiskHits, st.DiskMisses, st.DiskWrites, st.DiskWriteErrors)
 	}
-	bw := bufio.NewWriter(w)
-	cc := pipeline.NewCache(o.compileCache)
-	err = experiments.EncodeSweepTo(experiments.SweepSpec{
-		Points:  grid.Points(),
-		Benches: benches,
-		Workers: o.workers,
-		Cache:   cc,
-	}, bw)
-	if err == nil {
-		err = bw.Flush()
-	}
-	if f != nil {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}
-	if err != nil {
-		return err
-	}
-	st := cc.Stats()
-	log.Printf("compile cache: %d hits, %d compiles, %d evictions (capacity %d)",
-		st.Hits, st.Misses, st.Evictions, cc.Capacity())
 	return nil
 }
 
 // parseFUList parses a comma-separated list of int:fp:mem functional-unit
-// triples ("1:1:1,2:1:2"). An empty string means "Table 2 mix only".
-func parseFUList(csv string) ([][arch.NumFUKinds]int, error) {
+// triples ("1:1:1,2:1:2") into grid entries. An empty string means "Table 2
+// mix only".
+func parseFUList(csv string) ([][]int, error) {
 	csv = strings.TrimSpace(csv)
 	if csv == "" {
 		return nil, nil
 	}
-	var out [][arch.NumFUKinds]int
+	var out [][]int
 	for _, f := range strings.Split(csv, ",") {
 		f = strings.TrimSpace(f)
 		if f == "" {
 			continue
 		}
 		parts := strings.Split(f, ":")
-		if len(parts) != 3 {
+		if len(parts) != int(arch.NumFUKinds) {
 			return nil, fmt.Errorf("bad triple %q: want int:fp:mem, e.g. 1:1:1", f)
 		}
-		var fu [arch.NumFUKinds]int
+		fu := make([]int, arch.NumFUKinds)
 		for i, kind := range []arch.FUKind{arch.FUInt, arch.FUFP, arch.FUMem} {
 			v, err := strconv.Atoi(strings.TrimSpace(parts[i]))
 			if err != nil {
@@ -396,39 +558,7 @@ func parseFUList(csv string) ([][arch.NumFUKinds]int, error) {
 	return out, nil
 }
 
-// resolveBenches turns the -sweep-bench list (plus -sweep-synth synthetic
-// benchmarks) into specs.
-func resolveBenches(csv string, synth int, seed uint64) ([]workload.BenchSpec, error) {
-	var benches []workload.BenchSpec
-	switch strings.ToLower(strings.TrimSpace(csv)) {
-	case "all":
-		benches = workload.Suite()
-	case "", "none":
-	default:
-		for _, name := range strings.Split(csv, ",") {
-			name = strings.TrimSpace(name)
-			spec, ok := workload.ByName(name)
-			if !ok {
-				return nil, fmt.Errorf("unknown benchmark %q (see -exp table1)", name)
-			}
-			benches = append(benches, spec)
-		}
-	}
-	if synth < 0 {
-		return nil, fmt.Errorf("-sweep-synth must be >= 0, got %d", synth)
-	}
-	syn, err := workload.SynthSuite(synth, seed)
-	if err != nil {
-		return nil, err
-	}
-	benches = append(benches, syn...)
-	if len(benches) == 0 {
-		return nil, fmt.Errorf("no benchmarks selected: set -sweep-bench and/or -sweep-synth")
-	}
-	return benches, nil
-}
-
-// parseIntList parses a comma-separated list of positive integers.
+// parseIntList parses a comma-separated list of integers.
 func parseIntList(csv string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(csv, ",") {
@@ -446,30 +576,4 @@ func parseIntList(csv string) ([]int, error) {
 		return nil, fmt.Errorf("empty list")
 	}
 	return out, nil
-}
-
-func parseHeuristic(s string) (sched.Heuristic, error) {
-	switch strings.ToUpper(strings.TrimSpace(s)) {
-	case "BASE":
-		return sched.Base, nil
-	case "IBC":
-		return sched.IBC, nil
-	case "IPBC":
-		return sched.IPBC, nil
-	}
-	return 0, fmt.Errorf("unknown heuristic %q (want BASE, IBC or IPBC)", s)
-}
-
-func parseUnroll(s string) (core.UnrollMode, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "none", "no", "1":
-		return core.NoUnroll, nil
-	case "xn", "n":
-		return core.UnrollxN, nil
-	case "ouf":
-		return core.OUFUnroll, nil
-	case "selective":
-		return core.Selective, nil
-	}
-	return 0, fmt.Errorf("unknown unroll mode %q (want none, xN, OUF or selective)", s)
 }

@@ -41,30 +41,41 @@
 // internal/experiments package and the top-level benchmarks in
 // bench_test.go.
 //
-// # Design-space sweeps
+// # Declarative sweeps
 //
-// The paper evaluates one machine point (Table 2). The sweep engine
-// generalizes every constant of that point into a validated axis and fans
-// the (configuration × workload) grid over the worker pool:
+// The paper evaluates one machine point (Table 2). The public ivliw/sweep
+// package generalizes every constant of that point into an axis of a
+// declarative, JSON-serializable sweep.Spec — the one way to run
+// design-space experiments — with four orthogonal pieces:
 //
-//   - arch.Config carries every swept parameter — cluster count,
-//     interleaving factor, cache capacity/associativity, Attraction Buffer
-//     size, bus ratio, local-hit and next-level latencies — with Default()
-//     reproducing the paper point exactly and Validate() rejecting
-//     infeasible combinations up front;
-//   - internal/workload synthesizes benchmark populations beyond the fixed
-//     suite: a seeded SynthSpec expands deterministically into strided,
-//     indirect, reduction and chain loop kernels with controllable
-//     footprint, ALU depth and recurrence depth;
-//   - internal/experiments.Sweep evaluates the grid cell-by-cell — an
-//     invalid machine point fails its own cells with an error row instead
-//     of aborting the run — and emits byte-stable JSON rows regardless of
-//     worker count.
+//   - sweep.Spec describes a whole run as data: the machine grid (cluster
+//     count, interleaving factor, cache geometry, FU mix, register buses,
+//     Attraction Buffer size and hint budget, MSHR depth, bus and memory
+//     latencies), the workload selection (paper benchmarks by name,
+//     explicit sweep.SynthSpec synthetic workloads, or a seeded generated
+//     population), the compiler configuration, the shard, the artifact
+//     store and the output. Specs Validate() and round-trip through
+//     Encode/ParseSpec byte-identically, so a run is a reproducible file
+//     instead of flag soup;
+//   - artifact stores make runs start warm: stage-1 compilations resolve
+//     through a bounded in-memory LRU, optionally layered over a
+//     persistent content-addressed on-disk store (Spec.Store.Dir) that is
+//     corruption-safe (a damaged file is a miss, recompiled and atomically
+//     rewritten) and shared freely across processes;
+//   - sweep.Shard{Index, Count} partitions the row grid contiguously by
+//     row index: the concatenation of all shards' JSONL outputs is
+//     byte-identical to the unsharded run, so a grid can fan out across
+//     processes or hosts from one spec file and one artifact directory;
+//   - sweep.Sink consumes the rows (JSONL writer, in-memory Collector,
+//     Func callback); a failing cell — e.g. an infeasible machine point —
+//     yields a row with Error set instead of aborting the run.
 //
-// `ivliw-bench -sweep` exposes the engine on the command line (axes via
-// -sweep-clusters, -sweep-interleave, -sweep-ab, -sweep-fus, -sweep-mshr,
-// ...; synthetic workloads via -sweep-synth; streamed output via -out);
-// examples/design-sweep walks a small grid end to end.
+// `ivliw-bench` is a thin front end over the package: the -sweep-* flags
+// parse into a Spec, -spec-out captures that Spec as a file, -spec runs a
+// spec file, and -shard/-artifact-dir select the slice and the persistent
+// store. examples/design-sweep walks a small grid end to end;
+// examples/sharded-sweep demonstrates spec files, 3-way sharding and warm
+// disk-store starts against the public package alone.
 //
 // # Pipeline stages
 //
@@ -90,14 +101,14 @@
 //     for the cell's full configuration and runs the cycle-level simulator
 //     against the (read-only, freely shared) artifact.
 //
-// experiments.SweepTo streams the (point × benchmark) grid through both
-// stages: rows are emitted in grid order as their cells complete, with
-// memory bounded by a reorder window and the cache capacity rather than
-// the grid size, so 10^5+ cell grids run in constant space. Output is
-// byte-identical with the cache on or off and for any worker count (gated
-// by scripts/ci.sh). On the public API, Program.CompileArtifact and
-// Program.RunArtifact expose the same two stages per loop, with artifacts
-// cached by content inside the Program.
+// sweep.Run streams the (point × benchmark) grid through both stages: rows
+// are emitted in grid order as their cells complete, with memory bounded
+// by a reorder window and the store capacity rather than the grid size, so
+// 10^5+ cell grids run in constant space. Output is byte-identical for any
+// store configuration, worker count and sharding (gated by scripts/ci.sh).
+// On the root API, Program.CompileArtifact and Program.RunArtifact expose
+// the same two stages per loop, with artifacts cached by content inside
+// the Program.
 //
 // # Performance architecture
 //

@@ -4,85 +4,80 @@
 // small synthetic workload population, and the sweep reports which machine
 // point each workload prefers.
 //
-// The sweep runs as the staged compile/simulate pipeline behind
-// `ivliw-bench -sweep`: rows arrive in grid order through SweepTo as their
-// cells complete (this example collects them into a map because its table
-// is rendered workload-major; `ivliw-bench -sweep -out` writes each row as
+// The whole run is a declarative sweep.Spec — the same serializable
+// description `ivliw-bench -spec` executes — evaluated through the public
+// sweep package: rows arrive in grid order through the sink as their cells
+// complete (this example collects them into a Collector because its table
+// is rendered workload-major; `ivliw-bench -sweep -out` streams each row as
 // it arrives instead), and points that differ only in simulate-only axes —
 // here the AB and MSHR axes — share one compiled schedule artifact through
-// the content-addressed cache, which the program prints the hit statistics
-// of at the end.
+// the content-addressed store, whose hit statistics the program prints at
+// the end. See examples/sharded-sweep for spec files, sharding and the
+// persistent disk store.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"ivliw/internal/core"
-	"ivliw/internal/experiments"
-	"ivliw/internal/pipeline"
-	"ivliw/internal/sched"
-	"ivliw/internal/workload"
+	"ivliw/sweep"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	// Two paper benchmarks with opposite granularity characters...
-	var benches []workload.BenchSpec
-	for _, name := range []string{"gsmdec", "jpegenc"} {
-		spec, ok := workload.ByName(name)
-		if !ok {
-			log.Fatalf("unknown benchmark %q", name)
-		}
-		benches = append(benches, spec)
+	spec := sweep.Spec{
+		Grid: sweep.Grid{
+			Clusters:  []int{2, 4, 8},
+			ABEntries: []int{0, 16},
+			MSHRs:     []int{0, 4},
+		},
+		Workloads: sweep.Workloads{
+			// Two paper benchmarks with opposite granularity characters,
+			// plus a synthetic population the seed suite does not cover.
+			Bench:      []string{"gsmdec", "jpegenc"},
+			SynthCount: 2,
+			SynthSeed:  7,
+		},
+		Compile: sweep.Compile{Heuristic: "IPBC", Unroll: "selective"},
 	}
-	// ...plus a synthetic population the seed suite does not cover.
-	syn, err := workload.SynthSuite(2, 7)
+
+	var rows sweep.Collector
+	st, err := sweep.Run(spec, &rows)
 	if err != nil {
 		log.Fatal(err)
 	}
-	benches = append(benches, syn...)
 
-	grid := experiments.SweepGrid{
-		Clusters:  []int{2, 4, 8},
-		ABEntries: []int{0, 16},
-		MSHRs:     []int{0, 4},
-		Heuristic: sched.IPBC,
-		Unroll:    core.Selective,
-	}
-	points := grid.Points()
-
-	// Stream the grid: rows arrive in order as cells complete, sharing
-	// compiled schedules across the AB and MSHR axes via the cache.
-	cache := pipeline.NewCache(pipeline.DefaultCacheSize)
-	cells := make(map[string]map[string]experiments.SweepRow, len(benches))
-	err = experiments.SweepTo(experiments.SweepSpec{
-		Points:  points,
-		Benches: benches,
-		Cache:   cache,
-	}, func(r experiments.SweepRow) error {
+	// Index the streamed rows workload-major for the table. Rows arrive in
+	// grid order (points major, benches minor), so first-seen order
+	// reconstructs both axes.
+	cells := map[string]map[string]sweep.Row{}
+	seenPoint := map[string]bool{}
+	var points []string
+	var benches []string
+	for _, r := range rows.Rows {
 		if cells[r.Bench] == nil {
-			cells[r.Bench] = map[string]experiments.SweepRow{}
+			cells[r.Bench] = map[string]sweep.Row{}
+			benches = append(benches, r.Bench)
+		}
+		if !seenPoint[r.Point] {
+			seenPoint[r.Point] = true
+			points = append(points, r.Point)
 		}
 		cells[r.Bench][r.Point] = r
-		return nil
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
 
-	fmt.Printf("%d machine points × %d workloads = %d cells\n\n", len(points), len(benches), len(points)*len(benches))
+	fmt.Printf("%d machine points × %d workloads = %d cells\n\n", len(points), len(benches), st.Rows)
 	fmt.Printf("%-10s", "workload")
 	for _, p := range points {
-		fmt.Printf(" %28s", p.Label)
+		fmt.Printf(" %28s", p)
 	}
 	fmt.Println()
 	for _, b := range benches {
-		fmt.Printf("%-10s", b.Name)
+		fmt.Printf("%-10s", b)
 		best, bestCycles := "", int64(0)
 		for _, p := range points {
-			r := cells[b.Name][p.Label]
+			r := cells[b][p]
 			if r.Error != "" {
 				fmt.Printf(" %28s", "error")
 				continue
@@ -94,9 +89,9 @@ func main() {
 		}
 		fmt.Printf("   <- best: %s\n", best)
 	}
-	st := cache.Stats()
 	fmt.Println()
-	fmt.Printf("compile cache: %d cells served by %d compilations (%d hits; AB and MSHR\n", st.Hits+st.Misses, st.Misses, st.Hits)
+	fmt.Printf("compile cache: %d cells served by %d compilations (%d hits; AB and MSHR\n",
+		st.MemHits+st.MemMisses, st.MemMisses, st.MemHits)
 	fmt.Println("axes are simulate-only, so they share stage-1 schedule artifacts).")
 	fmt.Println("Total cycles per (machine point, workload); lower is better. Run")
 	fmt.Println("`ivliw-bench -sweep -sweep-synth 8 -out rows.jsonl` for streamed JSON rows.")

@@ -82,18 +82,18 @@ func (v Variant) CompileKey() string {
 // RunBench compiles and simulates every loop of one benchmark under the
 // variant, sharing the L1 across loops (Attraction Buffers are flushed
 // between loops by the simulator). It runs the two pipeline stages
-// back-to-back without a cache; grid drivers route through runBenchCached
+// back-to-back without a store; grid drivers route through RunBenchStore
 // to share stage-1 artifacts across cells.
 func RunBench(spec workload.BenchSpec, v Variant) (stats.Bench, error) {
-	return runBenchCached(spec, v, nil)
+	return RunBenchStore(spec, v, nil)
 }
 
-// runBenchCached is RunBench with an optional shared compile cache: stage 1
-// resolves through the cache (compiling on miss), stage 2 always simulates
-// the cell's own full configuration. A nil cache compiles fresh. Results
-// are byte-identical with the cache on or off: the cache key covers every
-// compile-relevant input.
-func runBenchCached(spec workload.BenchSpec, v Variant, c *pipeline.Cache) (stats.Bench, error) {
+// RunBenchStore is RunBench with an optional shared artifact store: stage 1
+// resolves through the store (compiling on miss), stage 2 always simulates
+// the cell's own full configuration. A nil store compiles fresh. Results
+// are byte-identical with any store (memory, disk, tiered) or none: the
+// content key covers every compile-relevant input.
+func RunBenchStore(spec workload.BenchSpec, v Variant, st pipeline.Store) (stats.Bench, error) {
 	bench := stats.Bench{Name: spec.Name}
 	// Validate the full configuration up front (not just the
 	// compile-relevant subset), so a point that is invalid only in
@@ -102,7 +102,7 @@ func runBenchCached(spec workload.BenchSpec, v Variant, c *pipeline.Cache) (stat
 	if err := v.Cfg.Validate(); err != nil {
 		return bench, fmt.Errorf("experiments: %s/%s: %w", spec.Name, v.Label, err)
 	}
-	art, err := c.Get(v.CompileSpec(spec))
+	art, err := pipeline.Lookup(st, v.CompileSpec(spec))
 	if err != nil {
 		return bench, fmt.Errorf("experiments: %s: %w", v.Label, err)
 	}

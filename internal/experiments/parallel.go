@@ -109,7 +109,7 @@ var figureCache = pipeline.NewCache(pipeline.DefaultCacheSize)
 func benchCells(suite []workload.BenchSpec, variants []Variant) ([][]stats.Bench, error) {
 	nv := len(variants)
 	flat, err := runCells(len(suite)*nv, 0, func(i int) (stats.Bench, error) {
-		return runBenchCached(suite[i/nv], variants[i%nv], figureCache)
+		return RunBenchStore(suite[i/nv], variants[i%nv], figureCache)
 	})
 	if err != nil {
 		return nil, err
@@ -119,146 +119,4 @@ func benchCells(suite []workload.BenchSpec, variants []Variant) ([][]stats.Bench
 		rows[b] = flat[b*nv : (b+1)*nv]
 	}
 	return rows, nil
-}
-
-// streamCells evaluates f over n independent cells on a bounded worker pool
-// and hands the results to emit in strict cell order, as they become
-// contiguously available — the streaming counterpart of runCells for
-// pipelines whose output must not buffer the whole grid. Memory stays
-// bounded by a reorder window: workers never dispatch more than window
-// cells ahead of the emission frontier, so at most window results wait in
-// the reorder buffer plus up to window more in the batch being emitted,
-// regardless of n. emit is called serially (never concurrently) and in
-// ascending cell order, outside the pool lock so workers keep computing
-// while rows are written; an emit error stops the run.
-// Cell errors keep runCells semantics: dispatch stops, already-dispatched
-// cells drain, and the lowest-indexed failing cell's error is returned
-// (rows before it may already have been emitted).
-func streamCells[T any](n, workers int, f func(i int) (T, error), emit func(i int, v T) error) error {
-	if n <= 0 {
-		return nil
-	}
-	if workers <= 0 {
-		workers = Workers()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			v, err := f(i)
-			if err != nil {
-				return err
-			}
-			if err := emit(i, v); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	window := 4 * workers
-	if window < 16 {
-		window = 16
-	}
-
-	var (
-		mu       sync.Mutex
-		cond     = sync.NewCond(&mu)
-		buf      = make(map[int]T, window)
-		next     int // next cell to dispatch
-		nextEmit int // next cell to emit
-		emitting bool
-		stopped  bool
-		emitErr  error
-		cellErrs map[int]error
-	)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				for !stopped && next < n && next-nextEmit >= window {
-					cond.Wait()
-				}
-				if stopped || next >= n {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-
-				v, err := f(i)
-
-				mu.Lock()
-				if err != nil {
-					if cellErrs == nil {
-						cellErrs = map[int]error{}
-					}
-					cellErrs[i] = err
-					stopped = true
-					cond.Broadcast()
-					mu.Unlock()
-					return
-				}
-				buf[i] = v
-				// Flush the contiguous prefix. Extraction happens under
-				// the lock but emit (user I/O) runs outside it, so other
-				// workers keep depositing results meanwhile. `emitting`
-				// keeps emission serialized and in order: whoever holds
-				// it loops until no contiguous rows remain, picking up
-				// whatever accumulated at the frontier while it was
-				// emitting. A failed cell never lands in buf, so the
-				// flush stops before it.
-				for !stopped && !emitting {
-					start := nextEmit
-					var batch []T
-					for {
-						head, ok := buf[nextEmit]
-						if !ok {
-							break
-						}
-						delete(buf, nextEmit)
-						batch = append(batch, head)
-						nextEmit++
-					}
-					if len(batch) == 0 {
-						break
-					}
-					emitting = true
-					cond.Broadcast() // the window frontier advanced
-					mu.Unlock()
-					var err error
-					for k := range batch {
-						if err = emit(start+k, batch[k]); err != nil {
-							break
-						}
-					}
-					mu.Lock()
-					emitting = false
-					if err != nil {
-						emitErr = err
-						stopped = true
-					}
-				}
-				cond.Broadcast()
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	// Cells are dispatched in ascending order and every dispatched cell
-	// completes, so the lowest-indexed failure is deterministic.
-	if len(cellErrs) > 0 {
-		lowest := -1
-		for i := range cellErrs {
-			if lowest < 0 || i < lowest {
-				lowest = i
-			}
-		}
-		return cellErrs[lowest]
-	}
-	return emitErr
 }

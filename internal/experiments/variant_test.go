@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"ivliw/internal/core"
+	"ivliw/internal/sched"
+	"ivliw/internal/workload"
+)
+
+// TestVariantCompileKey: the key ignores the label and simulate-only axes
+// and tracks compile-relevant ones.
+func TestVariantCompileKey(t *testing.T) {
+	a := Interleaved("A", sched.IPBC, core.Selective, true, false, false)
+	b := Interleaved("B", sched.IPBC, core.Selective, true, true, false) // +AB, hints off
+	b.Cfg.MSHRs = 8
+	if a.CompileKey() != b.CompileKey() {
+		t.Error("label/AB/MSHR changes must not change the variant compile key")
+	}
+	c := Interleaved("C", sched.IBC, core.Selective, true, false, false)
+	if a.CompileKey() == c.CompileKey() {
+		t.Error("heuristic change must change the variant compile key")
+	}
+	d := Interleaved("D", sched.IPBC, core.Selective, false, false, false)
+	if a.CompileKey() == d.CompileKey() {
+		t.Error("alignment change must change the variant compile key")
+	}
+}
+
+// TestMSHRBound: an effectively infinite MSHR depth reproduces the
+// unbounded model exactly, and a depth-1 bound can only slow execution.
+func TestMSHRBound(t *testing.T) {
+	spec, ok := workload.ByName("gsmdec")
+	if !ok {
+		t.Fatal("gsmdec missing")
+	}
+	v := Interleaved("base", sched.IPBC, core.NoUnroll, true, false, false)
+	base, err := RunBench(spec, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := v
+	huge.Cfg.MSHRs = 1 << 20
+	hb, err := RunBench(spec, huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.TotalCycles() != base.TotalCycles() || hb.StallCycles() != base.StallCycles() {
+		t.Errorf("MSHRs=2^20 diverged from unbounded: %d/%d vs %d/%d cycles/stall",
+			hb.TotalCycles(), hb.StallCycles(), base.TotalCycles(), base.StallCycles())
+	}
+	one := v
+	one.Cfg.MSHRs = 1
+	ob, err := RunBench(spec, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ob.TotalCycles() < base.TotalCycles() {
+		t.Errorf("MSHRs=1 sped the machine up: %d < %d cycles", ob.TotalCycles(), base.TotalCycles())
+	}
+}

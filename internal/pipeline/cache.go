@@ -21,11 +21,19 @@ const DefaultCacheSize = 256
 // same error whether it compiled or hit.
 //
 // A nil *Cache is valid and means "no caching": Get compiles fresh.
+//
+// A cache built with NewCacheOver fills misses from a backing Store instead
+// of compiling directly — the two-level memory-over-disk composition: the
+// memory tier absorbs the working set and single-flights concurrent cells,
+// the backing tier (typically a DiskStore) persists artifacts across
+// processes.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
+	next     Store                    // miss source; nil = Compile directly
 	entries  map[string]*list.Element // key -> element whose Value is *cacheEntry
 	lru      list.List                // front = most recently used
+	inflight map[string]*cacheEntry   // pass-through single-flight (capacity <= 0 over next)
 
 	hits, misses, evictions int64
 }
@@ -49,11 +57,29 @@ type CacheStats struct {
 // disables storage entirely: every Get compiles fresh (and counts a miss),
 // which is the reference behaviour byte-identity is gated against.
 func NewCache(capacity int) *Cache {
-	c := &Cache{capacity: capacity}
+	return NewCacheOver(capacity, nil)
+}
+
+// NewCacheOver returns a cache that resolves misses through next instead of
+// compiling directly (next == nil restores NewCache behaviour). Layering a
+// memory cache over a DiskStore gives warm cross-process starts with
+// in-process single-flight sharing; capacity <= 0 turns the memory tier into
+// a pass-through, so every Get consults next.
+func NewCacheOver(capacity int, next Store) *Cache {
+	c := &Cache{capacity: capacity, next: next}
 	if c.capacity > 0 {
 		c.entries = make(map[string]*list.Element, capacity)
 	}
 	return c
+}
+
+// fill produces an artifact on a memory miss: from the backing store when
+// layered, by compiling otherwise.
+func (c *Cache) fill(s CompileSpec) (*Artifact, error) {
+	if c.next != nil {
+		return c.next.Get(s)
+	}
+	return Compile(s)
 }
 
 // Capacity returns the configured bound (0 when disabled).
@@ -83,9 +109,38 @@ func (c *Cache) Get(s CompileSpec) (*Artifact, error) {
 	}
 	if c.capacity <= 0 {
 		c.mu.Lock()
+		if c.next == nil {
+			// Plain disabled cache: every Get compiles fresh (and counts
+			// a miss) — the reference behaviour byte-identity is gated
+			// against.
+			c.misses++
+			c.mu.Unlock()
+			return Compile(s)
+		}
+		// Pass-through over a backing store: nothing is retained, but
+		// concurrent Gets of one key still share a single fill so a cold
+		// disk store is not compiled once per worker. Joining an in-flight
+		// fill counts as a hit, like the LRU path.
+		key := s.Key()
+		if e, ok := c.inflight[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			<-e.ready
+			return e.art, e.err
+		}
 		c.misses++
+		e := &cacheEntry{key: key, ready: make(chan struct{})}
+		if c.inflight == nil {
+			c.inflight = make(map[string]*cacheEntry)
+		}
+		c.inflight[key] = e
 		c.mu.Unlock()
-		return Compile(s)
+		e.art, e.err = c.next.Get(s)
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(e.ready)
+		return e.art, e.err
 	}
 	key := s.Key()
 	c.mu.Lock()
@@ -111,7 +166,7 @@ func (c *Cache) Get(s CompileSpec) (*Artifact, error) {
 	}
 	c.mu.Unlock()
 
-	e.art, e.err = Compile(s)
+	e.art, e.err = c.fill(s)
 	close(e.ready)
 	return e.art, e.err
 }

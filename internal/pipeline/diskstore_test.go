@@ -1,0 +1,287 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// artifactFile returns the path of the single stored artifact under dir.
+func artifactFile(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.art"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("store holds %d artifact files, want 1", len(matches))
+	}
+	return matches[0]
+}
+
+// TestDiskStoreColdWarm: the first Get compiles and persists, the second is
+// served from disk and equals a fresh compilation exactly.
+func TestDiskStoreColdWarm(t *testing.T) {
+	dir := t.TempDir()
+	spec := cacheSpec(t, 4)
+
+	d, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := d.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Hits != 0 || st.Misses != 1 || st.Writes != 1 || st.WriteErrors != 0 {
+		t.Errorf("cold stats = %+v, want 0/1/1/0", st)
+	}
+
+	// A second store over the same directory models a new process.
+	d2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := d2.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := d2.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("warm stats = %+v, want 1 hit / 0 misses", st)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Error("disk round-trip changed the artifact")
+	}
+	ref, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, ref) {
+		t.Error("stored artifact differs from a fresh compilation")
+	}
+}
+
+// TestDiskStoreCorruptionIsAMiss: a bit-flipped artifact file is detected
+// by the checksum, treated as a miss, and atomically rewritten — never a
+// crash or a poisoned artifact.
+func TestDiskStoreCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	spec := cacheSpec(t, 4)
+	d, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	path := artifactFile(t, dir)
+	ref, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit at several positions: inside the magic, inside the
+	// checksum, and inside the gob payload.
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, len(diskMagic) + 3, len(clean) - 1, len(clean) / 2} {
+		data := append([]byte(nil), clean...)
+		data[pos] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d := mustDiskStore(t, dir)
+		art, err := d.Get(spec)
+		if err != nil {
+			t.Fatalf("bit flip at %d: Get failed: %v", pos, err)
+		}
+		if !reflect.DeepEqual(art, ref) {
+			t.Fatalf("bit flip at %d: corrupted artifact leaked through", pos)
+		}
+		if st := d.Stats(); st.Misses != 1 || st.Hits != 0 || st.Writes != 1 {
+			t.Errorf("bit flip at %d: stats = %+v, want a recompiling miss", pos, st)
+		}
+		// The rewrite must have healed the file.
+		healed, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(healed) != len(clean) {
+			t.Errorf("bit flip at %d: rewritten file has %d bytes, stored had %d", pos, len(healed), len(clean))
+		}
+		if _, err := mustDiskStore(t, dir).Get(spec); err != nil {
+			t.Fatalf("bit flip at %d: healed file unreadable: %v", pos, err)
+		}
+	}
+
+	// Truncations and outright garbage are misses too.
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"short":     clean[:len(diskMagic)+5],
+		"header":    clean[:len(diskMagic)+32],
+		"garbage":   []byte("not an artifact at all"),
+		"wrong-ver": append([]byte("ivliw-artifact-v0\n"), clean[len(diskMagic):]...),
+	} {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d := mustDiskStore(t, dir)
+		art, err := d.Get(spec)
+		if err != nil {
+			t.Fatalf("%s: Get failed: %v", name, err)
+		}
+		if !reflect.DeepEqual(art, ref) {
+			t.Fatalf("%s: corrupted artifact leaked through", name)
+		}
+		if st := d.Stats(); st.Misses != 1 {
+			t.Errorf("%s: stats = %+v, want one miss", name, st)
+		}
+	}
+}
+
+func mustDiskStore(t *testing.T, dir string) *DiskStore {
+	t.Helper()
+	d, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDiskStoreKeyMismatchIsAMiss: an artifact file whose payload decodes
+// but carries the wrong key (e.g. copied over by hand) is rejected.
+func TestDiskStoreKeyMismatchIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	a := cacheSpec(t, 2)
+	b := cacheSpec(t, 4)
+	d := mustDiskStore(t, dir)
+	if _, err := d.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	// Masquerade a's file as b's.
+	src := artifactFile(t, dir)
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, b.Key()+".art"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2 := mustDiskStore(t, dir)
+	art, err := d2.Get(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(art, ref) {
+		t.Error("mismatched-key artifact leaked through")
+	}
+	if st := d2.Stats(); st.Misses != 1 {
+		t.Errorf("stats = %+v, want one recompiling miss", st)
+	}
+}
+
+// TestDiskStoreUnwritableFailsFast: an unusable directory is rejected at
+// construction, not midway through a run.
+func TestDiskStoreUnwritableFailsFast(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDiskStore(file); err == nil {
+		t.Error("a path occupied by a file must be rejected")
+	}
+	if _, err := NewDiskStore(""); err == nil {
+		t.Error("an empty path must be rejected")
+	}
+	if os.Geteuid() != 0 { // root bypasses mode bits
+		ro := filepath.Join(t.TempDir(), "ro")
+		if err := os.Mkdir(ro, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewDiskStore(ro); err == nil || !strings.Contains(err.Error(), "not writable") {
+			t.Errorf("read-only dir: err = %v, want a not-writable error", err)
+		}
+	}
+}
+
+// TestCacheOverDiskStore: the two-level composition — the memory tier
+// single-flights and absorbs repeats, the disk tier persists across
+// "processes".
+func TestCacheOverDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	spec := cacheSpec(t, 4)
+
+	disk1 := mustDiskStore(t, dir)
+	mem1 := NewCacheOver(8, disk1)
+	a1, err := mem1.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem1.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	if st := mem1.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("memory stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st := disk1.Stats(); st.Hits != 0 || st.Misses != 1 {
+		t.Errorf("disk saw %+v, want exactly the one memory miss", st)
+	}
+
+	// New process: cold memory, warm disk.
+	disk2 := mustDiskStore(t, dir)
+	mem2 := NewCacheOver(8, disk2)
+	a2, err := mem2.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := disk2.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("second-process disk stats = %+v, want a pure hit", st)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Error("artifact changed across the disk round-trip")
+	}
+
+	// A disabled memory tier passes every Get through to disk.
+	disk3 := mustDiskStore(t, dir)
+	mem3 := NewCacheOver(0, disk3)
+	for i := 0; i < 3; i++ {
+		if _, err := mem3.Get(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := disk3.Stats(); st.Hits != 3 {
+		t.Errorf("pass-through disk stats = %+v, want 3 hits", st)
+	}
+}
+
+// TestCacheOverDiskStoreSingleFlight: even with the memory tier disabled,
+// concurrent Gets of one key over a cold disk store share a single compile.
+func TestCacheOverDiskStoreSingleFlight(t *testing.T) {
+	spec := cacheSpec(t, 4)
+	disk := mustDiskStore(t, t.TempDir())
+	mem := NewCacheOver(0, disk)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := mem.Get(spec); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := disk.Stats(); st.Misses != 1 {
+		t.Errorf("cold disk store compiled %d times for one key, want 1 (single flight)", st.Misses)
+	}
+}

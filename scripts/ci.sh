@@ -13,6 +13,11 @@
 #      across worker counts (1 vs 8) AND across the compiled-schedule cache
 #      being disabled (-compile-cache 0) vs enabled — the staged pipeline's
 #      byte-identity invariant
+#   6. declarative specs, sharding and the disk artifact store: a sweep run
+#      from a -spec-out captured spec file, run as 3 concatenated -shard
+#      slices over a fresh -artifact-dir, and re-run against the then-warm
+#      store must all be byte-identical to the cache-disabled single-process
+#      reference; malformed -shard values must exit 2
 #
 # Usage: scripts/ci.sh
 # To refresh the golden transcript after an *intentional* output change:
@@ -23,16 +28,16 @@ cd "$(dirname "$0")/.."
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== 1/5 go build ./... =="
+echo "== 1/6 go build ./... =="
 go build ./...
 
-echo "== 2/5 go vet ./... =="
+echo "== 2/6 go vet ./... =="
 go vet ./...
 
-echo "== 3/5 go test -race ./... =="
+echo "== 3/6 go test -race ./... =="
 go test -race ./...
 
-echo "== 4/5 paper-output byte identity (ivliw-bench -exp all) =="
+echo "== 4/6 paper-output byte identity (ivliw-bench -exp all) =="
 go build -o "$tmp/ivliw-bench" ./cmd/ivliw-bench
 "$tmp/ivliw-bench" -exp all > "$tmp/exp_all.txt"
 if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
@@ -42,7 +47,7 @@ if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
 fi
 echo "byte-identical"
 
-echo "== 5/5 sweep determinism across workers and compile cache =="
+echo "== 5/6 sweep determinism across workers and compile cache =="
 # run_sweep keeps stderr (cache-stats noise, but also any crash) in a log
 # that is replayed if the invocation fails.
 run_sweep() { # out_file, args...
@@ -81,5 +86,53 @@ if [ "$rows" -lt 12 ]; then
   exit 1
 fi
 echo "deterministic ($rows rows; workers 1/8 × cache on/off × stdout/-out)"
+
+echo "== 6/6 declarative specs, sharding and the disk artifact store =="
+# Capture the default flag grid as a spec file; running the file must be
+# byte-identical to the cache-disabled reference of step 5.
+"$tmp/ivliw-bench" -sweep -spec-out "$tmp/spec.json"
+run_sweep "$tmp/sweep_spec.jsonl" -spec "$tmp/spec.json"
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/sweep_spec.jsonl"; then
+  echo "FAIL: -spec run differs from the legacy-flags run" >&2
+  exit 1
+fi
+# The same spec as 3 shards over a fresh shared artifact directory: the
+# concatenation must reproduce the single-process reference exactly.
+art="$tmp/artifacts"
+for i in 0 1 2; do
+  run_sweep "$tmp/shard_$i.jsonl" -spec "$tmp/spec.json" -shard "$i/3" -artifact-dir "$art"
+done
+cat "$tmp/shard_0.jsonl" "$tmp/shard_1.jsonl" "$tmp/shard_2.jsonl" > "$tmp/sweep_sharded.jsonl"
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/sweep_sharded.jsonl"; then
+  echo "FAIL: concatenated -shard outputs differ from the unsharded run" >&2
+  exit 1
+fi
+# Warm pass: the shards populated the store, so this run must compile
+# nothing and still emit identical bytes.
+run_sweep "$tmp/sweep_warm.jsonl" -spec "$tmp/spec.json" -artifact-dir "$art"
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/sweep_warm.jsonl"; then
+  echo "FAIL: warm artifact-store run differs from the cold reference" >&2
+  exit 1
+fi
+if ! grep -q 'artifact store' "$tmp/sweep_stderr.log"; then
+  echo "FAIL: warm run never reported the artifact store (did -artifact-dir stop plumbing through?)" >&2
+  cat "$tmp/sweep_stderr.log" >&2
+  exit 1
+fi
+if grep 'artifact store' "$tmp/sweep_stderr.log" | grep -vq ', 0 compiles,'; then
+  echo "FAIL: warm artifact-store run recompiled artifacts:" >&2
+  cat "$tmp/sweep_stderr.log" >&2
+  exit 1
+fi
+# Malformed or out-of-range -shard values are usage errors (exit 2).
+for bad in "3/3" "-1/3" "x/3" "1x3" "0/0"; do
+  rc=0
+  "$tmp/ivliw-bench" -sweep -shard "$bad" >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "FAIL: -shard $bad exited $rc, want the usage error 2" >&2
+    exit 1
+  fi
+done
+echo "spec/shard/store byte-identical (3 shards; warm store compiles nothing)"
 
 echo "CI PASS"

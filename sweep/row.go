@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+
+	"ivliw/internal/arch"
+	"ivliw/internal/pipeline"
+	"ivliw/internal/stats"
+	"ivliw/internal/workload"
+
+	"ivliw/internal/experiments"
+)
+
+// Row is the result of one (point × benchmark) cell. Rows marshal to
+// stable JSON: field order is fixed and every counter is integral, so two
+// runs of the same sweep produce byte-identical output regardless of worker
+// count, artifact store, or sharding.
+type Row struct {
+	// Point and Bench name the cell; Config is the compact arch.Config ID.
+	Point  string `json:"point"`
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+
+	// Machine coordinates, denormalized for easy filtering downstream.
+	Clusters         int    `json:"clusters"`
+	Interleave       int    `json:"interleave"`
+	CacheBytes       int    `json:"cache_bytes"`
+	Assoc            int    `json:"assoc"`
+	Org              string `json:"org"`
+	FUInt            int    `json:"fu_int"`
+	FUFP             int    `json:"fu_fp"`
+	FUMem            int    `json:"fu_mem"`
+	RegBuses         int    `json:"reg_buses"`
+	ABEntries        int    `json:"ab_entries"` // 0 when Attraction Buffers are off
+	ABHintK          int    `json:"ab_hint_k"`  // effective §5.2 budget; 0 when hints are off
+	MSHRs            int    `json:"mshrs"`      // 0 = unbounded
+	BusCycleRatio    int    `json:"bus_cycle_ratio"`
+	NextLevelLatency int    `json:"next_level_latency"`
+	Heuristic        string `json:"heuristic"`
+	Unroll           string `json:"unroll"`
+
+	// Error is set when the cell failed (invalid machine point, compile
+	// error); the counters below are then zero and the sweep carries on.
+	Error string `json:"error,omitempty"`
+
+	Cycles        int64 `json:"cycles"`
+	ComputeCycles int64 `json:"compute_cycles"`
+	StallCycles   int64 `json:"stall_cycles"`
+	Accesses      int64 `json:"accesses"`
+	LocalHits     int64 `json:"local_hits"`
+	RemoteHits    int64 `json:"remote_hits"`
+	LocalMisses   int64 `json:"local_misses"`
+	RemoteMisses  int64 `json:"remote_misses"`
+	Combined      int64 `json:"combined"`
+	// BalanceMilli is the weighted workload balance ×1000 (integral so the
+	// JSON encoding is exact and byte-stable).
+	BalanceMilli int64 `json:"balance_milli"`
+}
+
+// cell runs one (point × benchmark) cell against the shared artifact store,
+// folding any failure into the row.
+func cell(v experiments.Variant, bench workload.BenchSpec, st pipeline.Store) Row {
+	row := Row{
+		Point:            v.Label,
+		Bench:            bench.Name,
+		Config:           v.Cfg.ID(),
+		Clusters:         v.Cfg.Clusters,
+		Interleave:       v.Cfg.Interleave,
+		CacheBytes:       v.Cfg.CacheBytes,
+		Assoc:            v.Cfg.Assoc,
+		Org:              v.Cfg.Org.String(),
+		FUInt:            v.Cfg.FUsPerCluster[arch.FUInt],
+		FUFP:             v.Cfg.FUsPerCluster[arch.FUFP],
+		FUMem:            v.Cfg.FUsPerCluster[arch.FUMem],
+		RegBuses:         v.Cfg.RegBuses,
+		ABHintK:          v.Cfg.HintBudget(),
+		MSHRs:            v.Cfg.MSHRs,
+		BusCycleRatio:    v.Cfg.BusCycleRatio,
+		NextLevelLatency: v.Cfg.NextLevelLatency,
+		Heuristic:        v.Opt.Heuristic.String(),
+		Unroll:           v.Opt.Unroll.String(),
+	}
+	if v.Cfg.AttractionBuffers {
+		row.ABEntries = v.Cfg.ABEntries
+	}
+	// RunBenchStore validates the full configuration before touching the
+	// store, so a bad machine point surfaces here as this row's error —
+	// identically with any store or none.
+	b, err := experiments.RunBenchStore(bench, v, st)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	acc := b.Accesses()
+	row.Cycles = b.TotalCycles()
+	row.ComputeCycles = b.ComputeCycles()
+	row.StallCycles = b.StallCycles()
+	for _, a := range acc {
+		row.Accesses += a
+	}
+	row.LocalHits = acc[stats.LHit]
+	row.RemoteHits = acc[stats.RHit]
+	row.LocalMisses = acc[stats.LMiss]
+	row.RemoteMisses = acc[stats.RMiss]
+	row.Combined = acc[stats.Combined]
+	row.BalanceMilli = int64(b.WeightedBalance()*1000 + 0.5)
+	return row
+}
+
+// EncodeRows renders already-collected rows as JSONL — byte-identical to
+// what a JSONL sink streams for the same cells, by construction: both go
+// through writeRow.
+func EncodeRows(rows []Row) ([]byte, error) {
+	var out bytes.Buffer
+	for i := range rows {
+		if err := writeRow(&out, &rows[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out.Bytes(), nil
+}
+
+// writeRow encodes one row as a JSON line to w.
+func writeRow(w io.Writer, r *Row) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,421 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ivliw/internal/arch"
+	"ivliw/internal/core"
+	"ivliw/internal/sched"
+)
+
+// smallSpec is a 6-point grid (clusters × AB) over two benchmarks = 12
+// cells, compiled without unrolling to keep the tests fast.
+func smallSpec() Spec {
+	return Spec{
+		Grid: Grid{
+			Clusters:  []int{2, 4, 8},
+			ABEntries: []int{0, 16},
+		},
+		Workloads: Workloads{Bench: []string{"g721dec", "gsmdec"}},
+		Compile:   Compile{Heuristic: "IPBC", Unroll: "none"},
+	}
+}
+
+// runJSONL executes the spec and returns the JSONL bytes.
+func runJSONL(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := Run(spec, JSONL(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGridPoints: the cross-product expands correctly and the default
+// (empty) grid is exactly the paper point.
+func TestGridPoints(t *testing.T) {
+	opt := core.Options{Heuristic: sched.IPBC, Unroll: core.Selective}
+	pts := Grid{Clusters: []int{2, 4, 8}, ABEntries: []int{0, 16}}.points(opt)
+	if len(pts) != 6 {
+		t.Fatalf("3×2 grid expanded to %d points", len(pts))
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		if seen[p.Label] {
+			t.Errorf("duplicate point label %q", p.Label)
+		}
+		seen[p.Label] = true
+	}
+	def := Grid{}.points(opt)
+	if len(def) != 1 {
+		t.Fatalf("empty grid expanded to %d points, want 1", len(def))
+	}
+	if want := arch.Default(); def[0].Cfg != want {
+		t.Errorf("empty grid point = %+v, want Table 2 default", def[0].Cfg)
+	}
+	// The hint-budget axis must not mint duplicate points for buffer-less
+	// machines (hints without buffers are not a distinct machine).
+	hintPts := Grid{ABEntries: []int{0, 16}, ABHintK: []int{0, 4}}.points(opt)
+	if len(hintPts) != 3 {
+		t.Fatalf("AB×K grid expanded to %d points, want 3", len(hintPts))
+	}
+}
+
+// TestRunGridNewAxes: the FU/reg-bus/MSHR/hint-budget axes expand the
+// cross-product with unique labels and denormalize into the rows — in
+// particular the positional [int, fp, mem] convention of Grid.FUs must
+// land in the matching fu_* columns.
+func TestRunGridNewAxes(t *testing.T) {
+	opt := core.Options{Heuristic: sched.IPBC, Unroll: core.NoUnroll}
+	grid := Grid{
+		FUs:       [][]int{{1, 1, 1}, {2, 1, 2}},
+		RegBuses:  []int{2, 4},
+		MSHRs:     []int{0, 4},
+		ABEntries: []int{16},
+		ABHintK:   []int{0, 2},
+	}
+	pts := grid.points(opt)
+	if len(pts) != 16 {
+		t.Fatalf("2×2×2×2 grid expanded to %d points", len(pts))
+	}
+	labels := map[string]bool{}
+	for _, p := range pts {
+		if labels[p.Label] {
+			t.Errorf("duplicate label %q across new axes", p.Label)
+		}
+		labels[p.Label] = true
+	}
+
+	var rows Collector
+	spec := Spec{
+		Grid:      grid,
+		Workloads: Workloads{Bench: []string{"g721dec"}},
+		Compile:   Compile{Heuristic: "IPBC", Unroll: "none"},
+		Workers:   1,
+	}
+	if _, err := Run(spec, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != len(pts) {
+		t.Fatalf("%d rows for %d points", len(rows.Rows), len(pts))
+	}
+	for i, r := range rows.Rows {
+		if r.Error != "" {
+			t.Fatalf("row %d failed: %s", i, r.Error)
+		}
+		p := pts[i]
+		if r.FUInt != p.Cfg.FUsPerCluster[arch.FUInt] || r.FUFP != p.Cfg.FUsPerCluster[arch.FUFP] ||
+			r.FUMem != p.Cfg.FUsPerCluster[arch.FUMem] {
+			t.Errorf("row %d FU mix not denormalized: %+v", i, r)
+		}
+		if r.FUInt != grid.FUs[i/8][0] || r.FUFP != grid.FUs[i/8][1] || r.FUMem != grid.FUs[i/8][2] {
+			t.Errorf("row %d FU columns do not follow the [int, fp, mem] convention: %+v", i, r)
+		}
+		if r.RegBuses != p.Cfg.RegBuses || r.MSHRs != p.Cfg.MSHRs {
+			t.Errorf("row %d reg-bus/MSHR not denormalized: %+v", i, r)
+		}
+		if r.ABHintK != p.Cfg.HintBudget() {
+			t.Errorf("row %d hint budget = %d, want %d", i, r.ABHintK, p.Cfg.HintBudget())
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers: the acceptance criterion — a sweep of
+// >= 12 (config × benchmark) cells must stream identical JSONL across
+// repeated runs and different worker counts.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	spec := smallSpec()
+	var first []byte
+	for _, workers := range []int{1, 2, 7} {
+		spec.Workers = workers
+		enc := runJSONL(t, spec)
+		if n := bytes.Count(enc, []byte("\n")); n < 12 {
+			t.Fatalf("grid has %d rows, want >= 12", n)
+		}
+		if first == nil {
+			first = enc
+			continue
+		}
+		if !bytes.Equal(first, enc) {
+			t.Fatalf("workers=%d: sweep JSON differs from workers=1 run", workers)
+		}
+	}
+}
+
+// TestRunStoreVariantsByteIdentical: rows must be byte-identical with the
+// memory cache disabled, default-sized and pathologically small, with and
+// without the disk tier, warm or cold, across worker counts.
+func TestRunStoreVariantsByteIdentical(t *testing.T) {
+	spec := smallSpec()
+	spec.Store = Store{Memory: -1}
+	spec.Workers = 1
+	ref := runJSONL(t, spec)
+
+	dir := t.TempDir()
+	for name, tc := range map[string]struct {
+		store   Store
+		workers int
+	}{
+		"default-parallel": {Store{}, 7},
+		"tiny-parallel":    {Store{Memory: 1}, 3},
+		"default-serial":   {Store{Memory: 256}, 1},
+		"disk-cold":        {Store{Memory: -1, Dir: dir}, 4},
+		"disk-warm":        {Store{Memory: -1, Dir: dir}, 4},
+		"tiered-warm":      {Store{Dir: dir}, 7},
+	} {
+		spec.Store = tc.store
+		spec.Workers = tc.workers
+		if got := runJSONL(t, spec); !bytes.Equal(ref, got) {
+			t.Errorf("%s: sweep bytes differ from the store-less serial reference", name)
+		}
+	}
+}
+
+// TestRunWarmDiskStore: a second run over a populated artifact directory
+// compiles nothing and still produces identical bytes.
+func TestRunWarmDiskStore(t *testing.T) {
+	spec := smallSpec()
+	spec.Store = Store{Dir: t.TempDir()}
+	var cold bytes.Buffer
+	cst, err := Run(spec, JSONL(&cold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.DiskMisses == 0 || cst.DiskWrites != cst.DiskMisses {
+		t.Errorf("cold run stats = %+v, want every miss persisted", cst)
+	}
+	var warm bytes.Buffer
+	wst, err := Run(spec, JSONL(&warm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wst.DiskMisses != 0 {
+		t.Errorf("warm run compiled %d artifacts, want 0", wst.DiskMisses)
+	}
+	if wst.DiskHits == 0 {
+		t.Error("warm run never hit the disk store")
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Error("warm rows differ from cold rows")
+	}
+}
+
+// TestRunSharesCompileAcrossSimulateOnlyAxes: the AB axis is invisible to
+// the compiler, so a (clusters × AB) grid compiles once per cluster count
+// per benchmark.
+func TestRunSharesCompileAcrossSimulateOnlyAxes(t *testing.T) {
+	spec := smallSpec() // 3 cluster counts × 2 AB settings × 2 benches
+	spec.Workers = 1
+	st, err := Run(spec, Func(func(Row) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCompiles := int64(3 * 2) // clusters × benches; AB shares
+	if st.MemMisses != wantCompiles {
+		t.Errorf("grid compiled %d artifacts, want %d (AB axis must share)", st.MemMisses, wantCompiles)
+	}
+	if st.MemHits != wantCompiles {
+		t.Errorf("grid hit %d times, want %d", st.MemHits, wantCompiles)
+	}
+}
+
+// TestRunBadPointFailsOneCell: an infeasible machine point (interleave 3
+// does not divide the 32-byte block across any cluster count) must yield
+// rows with Error set while every other cell still produces results.
+func TestRunBadPointFailsOneCell(t *testing.T) {
+	spec := smallSpec()
+	spec.Grid.Interleave = []int{3, 4}
+	var rows Collector
+	if _, err := Run(spec, &rows); err != nil {
+		t.Fatal(err)
+	}
+	var failed, succeeded int
+	for _, r := range rows.Rows {
+		if r.Interleave == 3 {
+			if r.Error == "" || r.Cycles != 0 {
+				t.Errorf("infeasible point row %+v: want Error set and zero counters", r)
+			}
+			failed++
+		} else {
+			if r.Error != "" {
+				t.Errorf("good point %s/%s failed: %s", r.Point, r.Bench, r.Error)
+			}
+			if r.Cycles <= 0 {
+				t.Errorf("good point %s/%s: no cycles", r.Point, r.Bench)
+			}
+			succeeded++
+		}
+	}
+	if failed == 0 || succeeded == 0 {
+		t.Errorf("grid produced %d error rows and %d good rows; want both", failed, succeeded)
+	}
+}
+
+// TestRunRowShape: rows carry the denormalized machine coordinates, the
+// access classes sum to the access total, and the encoding is one JSON
+// object per line.
+func TestRunRowShape(t *testing.T) {
+	spec := smallSpec()
+	spec.Grid = Grid{Clusters: []int{2}}
+	spec.Workloads = Workloads{Bench: []string{"g721dec"}}
+	var rows Collector
+	if _, err := Run(spec, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != 1 {
+		t.Fatalf("%d rows", len(rows.Rows))
+	}
+	r := rows.Rows[0]
+	if r.Clusters != 2 || r.Org != "interleaved" || r.Heuristic != "IPBC" {
+		t.Errorf("row coordinates wrong: %+v", r)
+	}
+	if sum := r.LocalHits + r.RemoteHits + r.LocalMisses + r.RemoteMisses + r.Combined; sum != r.Accesses {
+		t.Errorf("classes sum to %d, total %d", sum, r.Accesses)
+	}
+	if r.Cycles != r.ComputeCycles+r.StallCycles {
+		t.Errorf("cycles %d != compute %d + stall %d", r.Cycles, r.ComputeCycles, r.StallCycles)
+	}
+	enc, err := EncodeRows(rows.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(string(enc))
+	if !strings.HasPrefix(line, `{"point":`) || strings.Contains(line, "\n") {
+		t.Errorf("encoding is not one JSON object per line: %q", line)
+	}
+	var streamed bytes.Buffer
+	if _, err := Run(spec, JSONL(&streamed)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, streamed.Bytes()) {
+		t.Error("EncodeRows differs from the JSONL sink stream")
+	}
+}
+
+// TestRunEmptyWorkloads: a spec selecting nothing is an error.
+func TestRunEmptyWorkloads(t *testing.T) {
+	if _, err := Run(Spec{}, Func(func(Row) error { return nil })); err == nil {
+		t.Error("empty spec must fail")
+	}
+}
+
+// TestRunSinkErrorStats: a failing sink surfaces its error and Stats.Rows
+// reports only the rows actually emitted, not the shard size.
+func TestRunSinkErrorStats(t *testing.T) {
+	spec := smallSpec()
+	spec.Workers = 1
+	n := 0
+	st, err := Run(spec, Func(func(Row) error {
+		if n == 3 {
+			return errors.New("writer full")
+		}
+		n++
+		return nil
+	}))
+	if err == nil || err.Error() != "writer full" {
+		t.Fatalf("err = %v, want the sink's", err)
+	}
+	if st.Rows != 3 {
+		t.Errorf("Stats.Rows = %d after a sink failure on row 3, want 3", st.Rows)
+	}
+}
+
+// TestShardAlgebra is the sharding property test: for randomized grids, the
+// concatenation of all shard outputs, in shard order, equals the unsharded
+// run byte-for-byte — across shard counts 1–5 and worker counts 1/8.
+func TestShardAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(2002))
+	pick := func(vals ...int) []int {
+		out := append([]int(nil), vals...)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out[:1+rng.Intn(len(out))]
+	}
+	for trial := 0; trial < 3; trial++ {
+		spec := Spec{
+			Grid: Grid{
+				Clusters:  pick(2, 4, 8),
+				ABEntries: pick(0, 16),
+				MSHRs:     pick(0, 4),
+			},
+			Workloads: Workloads{
+				Bench: []string{"g721dec"},
+				Synth: []SynthSpec{{
+					Name:    "shardprop",
+					Seed:    uint64(rng.Int63()),
+					Kernels: 1 + rng.Intn(2),
+					Gran:    []int{1, 2, 4, 8}[rng.Intn(4)],
+					Iters:   64,
+				}},
+			},
+			Compile: Compile{Heuristic: "IPBC", Unroll: "none"},
+		}
+		spec.Workers = 1
+		unsharded := runJSONL(t, spec)
+		for count := 1; count <= 5; count++ {
+			for _, workers := range []int{1, 8} {
+				var parts [][]byte
+				for i := 0; i < count; i++ {
+					ss := spec
+					ss.Workers = workers
+					ss.Shard = Shard{Index: i, Count: count}
+					parts = append(parts, runJSONL(t, ss))
+				}
+				if got := bytes.Join(parts, nil); !bytes.Equal(got, unsharded) {
+					t.Fatalf("trial %d: %d shards × %d workers: concatenation differs from the unsharded run",
+						trial, count, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestShardCountBeyondRows: more shards than rows leaves the surplus shards
+// empty and still concatenates exactly.
+func TestShardCountBeyondRows(t *testing.T) {
+	spec := Spec{
+		Grid:      Grid{Clusters: []int{2, 4}},
+		Workloads: Workloads{Bench: []string{"g721dec"}},
+		Compile:   Compile{Unroll: "none"},
+	}
+	unsharded := runJSONL(t, spec) // 2 rows
+	const count = 5
+	var parts [][]byte
+	empties := 0
+	for i := 0; i < count; i++ {
+		ss := spec
+		ss.Shard = Shard{Index: i, Count: count}
+		part := runJSONL(t, ss)
+		if len(part) == 0 {
+			empties++
+		}
+		parts = append(parts, part)
+	}
+	if empties != count-2 {
+		t.Errorf("%d of %d shards empty, want %d", empties, count, count-2)
+	}
+	if !bytes.Equal(bytes.Join(parts, nil), unsharded) {
+		t.Error("sparse shards do not concatenate to the unsharded run")
+	}
+}
+
+// TestSynthWorkloadsDeterministic: sweeping a synthetic population stays
+// byte-stable across runs.
+func TestSynthWorkloadsDeterministic(t *testing.T) {
+	spec := Spec{
+		Grid:      Grid{Clusters: []int{2, 4}},
+		Workloads: Workloads{SynthCount: 2, SynthSeed: 42},
+		Compile:   Compile{Heuristic: "IPBC", Unroll: "none"},
+	}
+	a := runJSONL(t, spec)
+	b := runJSONL(t, spec)
+	if !bytes.Equal(a, b) {
+		t.Fatal("synthetic sweep not deterministic across runs")
+	}
+	if bytes.Contains(a, []byte(`"error"`)) {
+		t.Error("synthetic sweep produced error rows")
+	}
+}

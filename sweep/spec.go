@@ -1,0 +1,273 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ivliw/internal/core"
+	"ivliw/internal/sched"
+	"ivliw/internal/workload"
+)
+
+// SynthSpec parameterizes one synthetic benchmark (see the workload
+// generator): a seeded mix of strided, indirect, reduction and chain
+// kernels with controllable footprint, ALU depth and recurrence depth.
+// Re-exported here so spec files and external callers can author synthetic
+// workload populations against the public package alone.
+type SynthSpec = workload.SynthSpec
+
+// Spec is the declarative, JSON-serializable description of one
+// design-space sweep: the machine grid, the workload selection, the
+// compiler configuration, the execution parallelism, the shard this
+// process runs, the artifact store, and the output destination. A spec
+// round-trips through Encode/ParseSpec byte-identically, so a run is a
+// reproducible file instead of flag soup, and the same file drives every
+// shard of a multi-process run.
+type Spec struct {
+	// Grid declares the machine axes; their cross-product is the point set.
+	Grid Grid `json:"grid"`
+	// Workloads selects the benchmarks each point runs.
+	Workloads Workloads `json:"workloads"`
+	// Compile fixes the compiler configuration of every point.
+	Compile Compile `json:"compile"`
+	// Workers is the worker-pool size (0 = the SetWorkers/GOMAXPROCS
+	// default). Row values are independent of it.
+	Workers int `json:"workers,omitempty"`
+	// Shard names the slice of the row grid this process evaluates.
+	Shard Shard `json:"shard"`
+	// Store configures the artifact store resolving stage-1 compilations.
+	Store Store `json:"store"`
+	// Output names the default JSONL destination (used when Run is given a
+	// nil sink; "" = stdout).
+	Output Output `json:"output"`
+}
+
+// Workloads selects the benchmarks of a sweep: named paper benchmarks,
+// explicit synthetic specs, and/or a generated synthetic population. The
+// run order is Bench, then Synth, then the SynthCount population.
+type Workloads struct {
+	// Bench names paper benchmarks (see Table 1); the single entry "all"
+	// selects the full 14-benchmark suite.
+	Bench []string `json:"bench,omitempty"`
+	// Synth are explicit synthetic benchmark specs, generated
+	// deterministically from their seeds.
+	Synth []SynthSpec `json:"synth,omitempty"`
+	// SynthCount appends a generated population of that many synthetic
+	// benchmarks (seeded by SynthSeed), varying granularity and kernel mix.
+	SynthCount int    `json:"synth_count,omitempty"`
+	SynthSeed  uint64 `json:"synth_seed,omitempty"`
+}
+
+// Compile fixes the compiler configuration of every grid point.
+type Compile struct {
+	// Heuristic is the cluster-assignment heuristic: "BASE", "IBC" or
+	// "IPBC" ("" = IPBC).
+	Heuristic string `json:"heuristic,omitempty"`
+	// Unroll is the unrolling policy: "none", "xN", "OUF" or "selective"
+	// ("" = selective).
+	Unroll string `json:"unroll,omitempty"`
+}
+
+// Shard partitions the row grid by row index across Count cooperating
+// processes: shard i evaluates the i-th contiguous slice, so the
+// concatenation of all shards' JSONL outputs, in index order, is
+// byte-identical to the unsharded run. The zero value (Count 0) means
+// unsharded.
+type Shard struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// Range returns the half-open row interval [lo, hi) of this shard over an
+// n-row grid: contiguous, balanced (sizes differ by at most one), and
+// covering [0, n) exactly across shards 0..Count-1.
+func (s Shard) Range(n int) (lo, hi int) {
+	if s.Count <= 1 {
+		return 0, n
+	}
+	return s.Index * n / s.Count, (s.Index + 1) * n / s.Count
+}
+
+// validate rejects malformed shards.
+func (s Shard) validate() error {
+	switch {
+	case s.Count < 0:
+		return fmt.Errorf("sweep: shard count must be >= 0, got %d", s.Count)
+	case s.Count == 0 && s.Index != 0:
+		return fmt.Errorf("sweep: shard index %d without a shard count", s.Index)
+	case s.Count > 0 && (s.Index < 0 || s.Index >= s.Count):
+		return fmt.Errorf("sweep: shard index must be in [0, %d), got %d", s.Count, s.Index)
+	}
+	return nil
+}
+
+// Store configures the artifact store a run resolves stage-1 compilations
+// through: a bounded in-memory LRU, optionally layered over a persistent
+// content-addressed on-disk store. Row values are independent of the store
+// configuration; only compile work changes.
+type Store struct {
+	// Memory is the in-memory LRU capacity in artifacts: 0 = the default
+	// capacity (pipeline.DefaultCacheSize), < 0 disables the memory tier.
+	Memory int `json:"memory,omitempty"`
+	// Dir, when non-empty, layers the memory tier over a content-addressed
+	// on-disk store rooted there, so repeated runs and sharded processes
+	// start warm. The directory is created if missing and probed for
+	// writability before the sweep starts.
+	Dir string `json:"dir,omitempty"`
+}
+
+// Output names the spec's default output destination.
+type Output struct {
+	// Path receives the JSONL rows when Run is called with a nil sink
+	// ("" = stdout).
+	Path string `json:"path,omitempty"`
+}
+
+// Validate reports the first problem that would make the spec unusable: a
+// malformed grid axis, an unknown benchmark or heuristic name, an invalid
+// synthetic spec, an empty workload selection, a negative worker count, or
+// an out-of-range shard. Infeasible machine points are not errors — they
+// surface as per-cell error rows.
+func (s Spec) Validate() error {
+	_, _, err := s.resolve()
+	return err
+}
+
+// resolve performs exactly Validate's checks while materializing the run
+// inputs, so Run validates and resolves in one pass — synthetic workload
+// populations are synthesized once, and the two can never enforce
+// different rules.
+func (s Spec) resolve() (core.Options, []workload.BenchSpec, error) {
+	if s.Workers < 0 {
+		return core.Options{}, nil, fmt.Errorf("sweep: workers must be >= 0 (0 = default), got %d", s.Workers)
+	}
+	if err := s.Grid.validate(); err != nil {
+		return core.Options{}, nil, err
+	}
+	if err := s.Shard.validate(); err != nil {
+		return core.Options{}, nil, err
+	}
+	opt, err := s.Compile.options()
+	if err != nil {
+		return core.Options{}, nil, err
+	}
+	benches, err := s.Workloads.benches()
+	if err != nil {
+		return core.Options{}, nil, err
+	}
+	return opt, benches, nil
+}
+
+// options parses the compile section into core options.
+func (c Compile) options() (core.Options, error) {
+	opt := core.Options{}
+	switch strings.ToUpper(strings.TrimSpace(c.Heuristic)) {
+	case "", "IPBC":
+		opt.Heuristic = sched.IPBC
+	case "IBC":
+		opt.Heuristic = sched.IBC
+	case "BASE":
+		opt.Heuristic = sched.Base
+	default:
+		return opt, fmt.Errorf("sweep: unknown heuristic %q (want BASE, IBC or IPBC)", c.Heuristic)
+	}
+	switch strings.ToLower(strings.TrimSpace(c.Unroll)) {
+	case "", "selective":
+		opt.Unroll = core.Selective
+	case "none", "no", "1":
+		opt.Unroll = core.NoUnroll
+	case "xn", "n":
+		opt.Unroll = core.UnrollxN
+	case "ouf":
+		opt.Unroll = core.OUFUnroll
+	default:
+		return opt, fmt.Errorf("sweep: unknown unroll mode %q (want none, xN, OUF or selective)", c.Unroll)
+	}
+	return opt, nil
+}
+
+// benches resolves the workload selection into benchmark specs, in run
+// order: named benchmarks, explicit synthetic specs, generated population.
+func (w Workloads) benches() ([]workload.BenchSpec, error) {
+	var benches []workload.BenchSpec
+	for _, name := range w.Bench {
+		if strings.EqualFold(strings.TrimSpace(name), "all") {
+			if len(w.Bench) != 1 {
+				return nil, fmt.Errorf(`sweep: workload "all" must be the only bench entry`)
+			}
+			benches = workload.Suite()
+			break
+		}
+		spec, ok := workload.ByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown benchmark %q (see ivliw-bench -exp table1)", name)
+		}
+		benches = append(benches, spec)
+	}
+	for i := range w.Synth {
+		b, err := workload.Synthesize(w.Synth[i])
+		if err != nil {
+			return nil, err
+		}
+		benches = append(benches, b)
+	}
+	if w.SynthCount < 0 {
+		return nil, fmt.Errorf("sweep: synth_count must be >= 0, got %d", w.SynthCount)
+	}
+	syn, err := workload.SynthSuite(w.SynthCount, w.SynthSeed)
+	if err != nil {
+		return nil, err
+	}
+	benches = append(benches, syn...)
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("sweep: no workloads selected: set bench, synth or synth_count")
+	}
+	return benches, nil
+}
+
+// Encode renders the spec as indented JSON with a trailing newline. The
+// encoding is canonical: Encode(ParseSpec(Encode(s))) is byte-identical to
+// Encode(s), so specs can be diffed, committed and content-addressed.
+func (s Spec) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseSpec decodes a spec from its JSON encoding, strictly: unknown fields
+// and trailing data are errors (they are almost always a typo that would
+// otherwise silently run the wrong sweep). Semantic validation is left to
+// Validate/Run, which resolve the spec exactly once.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("sweep: parse spec: %w", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return Spec{}, fmt.Errorf("sweep: parse spec: trailing data after the spec object")
+	}
+	return s, nil
+}
+
+// LoadSpec reads and parses a spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("sweep: load spec: %w", err)
+	}
+	s, err := ParseSpec(data)
+	if err != nil {
+		// ParseSpec errors already carry the package prefix.
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fullSpec populates every section of a Spec, for round-trip coverage.
+func fullSpec() Spec {
+	return Spec{
+		Grid: Grid{
+			Clusters:         []int{2, 4, 8},
+			Interleave:       []int{4, 8},
+			CacheBytes:       []int{8192},
+			Assoc:            []int{2},
+			ABEntries:        []int{0, 16},
+			BusCycleRatio:    []int{2},
+			NextLevelLatency: []int{10, 20},
+			FUs:              [][]int{{1, 1, 1}, {2, 1, 2}},
+			RegBuses:         []int{4},
+			MSHRs:            []int{0, 8},
+			ABHintK:          []int{0, 2},
+		},
+		Workloads: Workloads{
+			Bench:      []string{"gsmdec", "jpegenc"},
+			Synth:      []SynthSpec{{Name: "s0", Seed: 3, Kernels: 2, Gran: 4, IndirectPct: 20}},
+			SynthCount: 2,
+			SynthSeed:  7,
+		},
+		Compile: Compile{Heuristic: "IBC", Unroll: "OUF"},
+		Workers: 4,
+		Shard:   Shard{Index: 1, Count: 3},
+		Store:   Store{Memory: 128, Dir: "artifacts"},
+		Output:  Output{Path: "rows.jsonl"},
+	}
+}
+
+// TestSpecRoundTripByteIdentical: encode→decode→re-encode is byte-identical
+// — specs are stable, diffable files.
+func TestSpecRoundTripByteIdentical(t *testing.T) {
+	for name, spec := range map[string]Spec{
+		"full":    fullSpec(),
+		"minimal": {Workloads: Workloads{Bench: []string{"gsmdec"}}},
+		"synth-only": {
+			Workloads: Workloads{SynthCount: 3, SynthSeed: 1},
+			Store:     Store{Memory: -1},
+		},
+		"cli-defaults": {
+			Grid: Grid{
+				Clusters: []int{2, 4, 8}, Interleave: []int{4}, CacheBytes: []int{8192},
+				Assoc: []int{2}, ABEntries: []int{0, 16}, BusCycleRatio: []int{2},
+				NextLevelLatency: []int{10},
+			},
+			Workloads: Workloads{Bench: []string{"gsmdec", "jpegenc", "mpeg2dec"}},
+			Compile:   Compile{Heuristic: "IPBC", Unroll: "selective"},
+			Store:     Store{Memory: 256},
+		},
+	} {
+		first, err := spec.Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		decoded, err := ParseSpec(first)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		second, err := decoded.Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s: re-encode differs:\n--- first\n%s\n--- second\n%s", name, first, second)
+		}
+		third, err := ParseSpec(second)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		enc3, _ := third.Encode()
+		if !bytes.Equal(second, enc3) {
+			t.Errorf("%s: third generation drifted", name)
+		}
+	}
+}
+
+// TestParseSpecStrict: unknown fields (typos) and trailing data are errors,
+// not silently-wrong sweeps.
+func TestParseSpecStrict(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"grid": {"clusterz": [2]}, "workloads": {"bench": ["gsmdec"]}}`)); err == nil {
+		t.Error("unknown grid field must be rejected")
+	}
+	if _, err := ParseSpec([]byte(`{"workloads": {"bench": ["gsmdec"]}} {"x": 1}`)); err == nil {
+		t.Error("trailing data must be rejected")
+	}
+	if _, err := ParseSpec([]byte(`{"workloads":`)); err == nil {
+		t.Error("malformed JSON must be rejected")
+	}
+	if _, err := ParseSpec([]byte(`{"workloads": {"bench": ["gsmdec"]}}`)); err != nil {
+		t.Errorf("valid minimal spec rejected: %v", err)
+	}
+}
+
+// TestSpecValidate: every class of unusable spec reports a descriptive
+// error; feasible specs pass.
+func TestSpecValidate(t *testing.T) {
+	base := func() Spec { return Spec{Workloads: Workloads{Bench: []string{"gsmdec"}}} }
+	cases := map[string]struct {
+		mutate  func(*Spec)
+		wantErr string
+	}{
+		"ok":                   {func(s *Spec) {}, ""},
+		"ok-all":               {func(s *Spec) { s.Workloads.Bench = []string{"all"} }, ""},
+		"ok-shard":             {func(s *Spec) { s.Shard = Shard{Index: 2, Count: 3} }, ""},
+		"unknown-bench":        {func(s *Spec) { s.Workloads.Bench = []string{"nope"} }, "unknown benchmark"},
+		"all-plus-named":       {func(s *Spec) { s.Workloads.Bench = []string{"all", "gsmdec"} }, `"all" must be the only`},
+		"no-workloads":         {func(s *Spec) { s.Workloads = Workloads{} }, "no workloads"},
+		"negative-synth-count": {func(s *Spec) { s.Workloads.SynthCount = -1 }, "synth_count"},
+		"negative-workers":     {func(s *Spec) { s.Workers = -8 }, "workers"},
+		"bad-synth-spec":       {func(s *Spec) { s.Workloads.Synth = []SynthSpec{{}} }, "needs a name"},
+		"bad-heuristic":        {func(s *Spec) { s.Compile.Heuristic = "FASTEST" }, "unknown heuristic"},
+		"bad-unroll":           {func(s *Spec) { s.Compile.Unroll = "always" }, "unknown unroll"},
+		"bad-fu-triple":        {func(s *Spec) { s.Grid.FUs = [][]int{{1, 1}} }, "fus[0]"},
+		"negative-shard-count": {func(s *Spec) { s.Shard.Count = -1 }, "shard count"},
+		"shard-index-oob":      {func(s *Spec) { s.Shard = Shard{Index: 3, Count: 3} }, "shard index"},
+		"shard-index-negative": {func(s *Spec) { s.Shard = Shard{Index: -1, Count: 3} }, "shard index"},
+		"shard-index-no-count": {func(s *Spec) { s.Shard = Shard{Index: 1} }, "without a shard count"},
+	}
+	for name, tc := range cases {
+		s := base()
+		tc.mutate(&s)
+		err := s.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want one containing %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestShardRange: shards tile [0, n) exactly — contiguous, in order,
+// balanced to within one row — for every (n, count) combination.
+func TestShardRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 17, 100} {
+		for count := 1; count <= 6; count++ {
+			pos := 0
+			for i := 0; i < count; i++ {
+				lo, hi := Shard{Index: i, Count: count}.Range(n)
+				if lo != pos {
+					t.Fatalf("n=%d count=%d: shard %d starts at %d, want %d", n, count, i, lo, pos)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d count=%d: shard %d is inverted [%d, %d)", n, count, i, lo, hi)
+				}
+				if size, min, max := hi-lo, n/count, (n+count-1)/count; size < min || size > max {
+					t.Fatalf("n=%d count=%d: shard %d has %d rows, want in [%d, %d]", n, count, i, size, min, max)
+				}
+				pos = hi
+			}
+			if pos != n {
+				t.Fatalf("n=%d count=%d: shards cover %d rows", n, count, pos)
+			}
+		}
+	}
+	// The zero value is unsharded.
+	if lo, hi := (Shard{}).Range(42); lo != 0 || hi != 42 {
+		t.Errorf("zero shard = [%d, %d), want [0, 42)", lo, hi)
+	}
+}

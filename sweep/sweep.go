@@ -1,0 +1,165 @@
+// Package sweep is the public design-space sweep surface of the ivliw
+// module: declarative, serializable run descriptions executed by one
+// composable entry point. Where the figure drivers reproduce the paper's
+// single Table 2 point, a sweep explores the space around it — cluster
+// count, interleaving factor, cache geometry, functional-unit mix, register
+// buses, Attraction Buffer size and hint budget, MSHR depth, bus and memory
+// latencies — against paper benchmarks and synthetic workload populations,
+// one (point × benchmark) cell per row.
+//
+// The four orthogonal pieces:
+//
+//   - Spec: a JSON-serializable description of the whole run (grid axes,
+//     workload selection including synthetic specs, compiler options,
+//     shard, artifact store, output) with Validate() and byte-stable
+//     round-trip encoding, so a run is a reproducible file;
+//   - artifact stores: stage-1 compilations resolve through a bounded
+//     in-memory LRU, optionally layered over a persistent content-addressed
+//     on-disk store (Spec.Store.Dir), so repeated runs start warm;
+//   - Shard{Index, Count}: contiguous row-index partitioning of the grid —
+//     the concatenation of all shards' JSONL outputs is byte-identical to
+//     the unsharded run, enabling multi-process and multi-host sweeps over
+//     one shared spec file and artifact directory;
+//   - Sink: the row consumer (JSONL writer, in-memory Collector, Func
+//     callback).
+//
+// Execution is the two-stage streaming pipeline of internal/pipeline:
+// distinct compile keys compile once into the store, every cell simulates
+// against its shared read-only artifact, and rows are emitted in grid order
+// as cells complete behind a bounded reorder window — row memory stays
+// bounded by the window and the store capacity rather than the row count,
+// so 10^5+ cell grids stream in constant space (the expanded machine-point
+// list, rows ÷ workloads, is the one grid-proportional allocation). Output
+// is byte-identical for any worker count, any store configuration, and any
+// sharding (gated by scripts/ci.sh).
+package sweep
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"ivliw/internal/experiments"
+	"ivliw/internal/pipeline"
+)
+
+// Stats summarizes one run: the rows this shard emitted and the artifact
+// store's effectiveness. Memory counters cover the in-memory LRU tier,
+// Disk counters the on-disk store (zero when Spec.Store.Dir is unset).
+// DiskWriteErrors counts artifacts that could not be persisted (the sweep
+// still completes; only the warm start is lost).
+type Stats struct {
+	Rows int
+
+	MemHits, MemMisses, MemEvictions                  int64
+	DiskHits, DiskMisses, DiskWrites, DiskWriteErrors int64
+}
+
+// Run executes the spec's shard of the sweep, streaming rows in grid order
+// to the sink. A nil sink writes JSONL to the spec's Output.Path (stdout
+// when that is empty too). A failing cell — an invalid machine point, a
+// compile error — yields a row with Error set instead of aborting the
+// sweep, so one bad point costs one cell, not the run. The returned error
+// is reserved for invalid specs, store setup failures and sink errors; on
+// a sink error the returned Stats still reflect the rows actually emitted.
+func Run(spec Spec, sink Sink) (Stats, error) {
+	// resolve is Validate plus the materialized run inputs, in one pass:
+	// validating separately first would synthesize every synthetic workload
+	// population twice.
+	opt, benches, err := spec.resolve()
+	if err != nil {
+		return Stats{}, err
+	}
+	points := spec.Grid.points(opt)
+
+	// Open the store before any cell runs, so a missing or unwritable
+	// artifact directory fails fast instead of mid-sweep.
+	mem, disk, err := spec.Store.open()
+	if err != nil {
+		return Stats{}, err
+	}
+
+	var closer io.Closer
+	var flush *bufio.Writer
+	if sink == nil {
+		var w io.Writer = os.Stdout
+		if spec.Output.Path != "" {
+			f, err := os.Create(spec.Output.Path)
+			if err != nil {
+				return Stats{}, fmt.Errorf("sweep: output: %w", err)
+			}
+			w, closer = f, f
+		}
+		flush = bufio.NewWriter(w)
+		sink = JSONL(flush)
+	}
+
+	nb := len(benches)
+	n := len(points) * nb
+	lo, hi := spec.Shard.Range(n)
+	emitted := 0
+	err = streamCells(hi-lo, spec.Workers,
+		func(i int) (Row, error) {
+			c := lo + i
+			return cell(points[c/nb], benches[c%nb], mem), nil
+		},
+		func(_ int, row Row) error {
+			if err := sink.Row(row); err != nil {
+				return err
+			}
+			emitted++
+			return nil
+		})
+	if flush != nil {
+		if ferr := flush.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	if closer != nil {
+		if cerr := closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+
+	st := Stats{Rows: emitted}
+	ms := mem.Stats()
+	st.MemHits, st.MemMisses, st.MemEvictions = ms.Hits, ms.Misses, ms.Evictions
+	if disk != nil {
+		ds := disk.Stats()
+		st.DiskHits, st.DiskMisses = ds.Hits, ds.Misses
+		st.DiskWrites, st.DiskWriteErrors = ds.Writes, ds.WriteErrors
+	}
+	if err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// open builds the configured store stack: an in-memory single-flight LRU,
+// layered over a content-addressed disk store when Dir is set. The memory
+// tier is always present as the composition root (a negative Memory turns
+// it into a counting pass-through), so every run shares one code path.
+func (s Store) open() (*pipeline.Cache, *pipeline.DiskStore, error) {
+	var disk *pipeline.DiskStore
+	var next pipeline.Store
+	if s.Dir != "" {
+		var err error
+		if disk, err = pipeline.NewDiskStore(s.Dir); err != nil {
+			return nil, nil, err
+		}
+		next = disk
+	}
+	capacity := s.Memory
+	if capacity == 0 {
+		capacity = pipeline.DefaultCacheSize
+	} else if capacity < 0 {
+		capacity = 0
+	}
+	return pipeline.NewCacheOver(capacity, next), disk, nil
+}
+
+// SetWorkers fixes the default worker-pool size used when Spec.Workers is
+// zero (n <= 0 restores the GOMAXPROCS default). It mirrors the
+// `ivliw-bench -workers` flag for library callers.
+func SetWorkers(n int) { experiments.SetWorkers(n) }
