@@ -1,6 +1,7 @@
 package ivliw_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -333,7 +334,7 @@ func benchmarkSweepCache(b *testing.B, memory int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var rows sweep.Collector
-		st, err := sweep.Run(spec, &rows)
+		st, err := sweep.Run(context.Background(), spec, &rows)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -363,7 +364,7 @@ func benchmarkSweepDisk(b *testing.B, warm bool) {
 	spec.Store.Dir = b.TempDir()
 	const cells = 16
 	if warm {
-		if _, err := sweep.Run(spec, sweep.Func(func(sweep.Row) error { return nil })); err != nil {
+		if _, err := sweep.Run(context.Background(), spec, sweep.Func(func(sweep.Row) error { return nil })); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -374,7 +375,7 @@ func benchmarkSweepDisk(b *testing.B, warm bool) {
 			spec.Store.Dir = b.TempDir()
 			b.StartTimer()
 		}
-		st, err := sweep.Run(spec, sweep.Func(func(sweep.Row) error { return nil }))
+		st, err := sweep.Run(context.Background(), spec, sweep.Func(func(sweep.Row) error { return nil }))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -20,6 +20,9 @@
 //	            [-shard i/n] [-out sweep.jsonl] [-spec-out run.json]
 //	ivliw-bench -spec run.json [-shard i/n] [-artifact-dir DIR]
 //	            [-out shard.jsonl]
+//	ivliw-bench -spec run.json -coordinate 3 [-coordinate-dir DIR]
+//	            [-coordinate-launch exec|inproc] [-coordinate-attempts 3]
+//	            [-coordinate-straggler 90s] [-out sweep.jsonl]
 //
 // The sweep flags are a thin front end over the public ivliw/sweep package:
 // they parse into a declarative, serializable sweep.Spec. -spec-out writes
@@ -30,6 +33,18 @@
 // -artifact-dir layers the compile cache over a persistent
 // content-addressed artifact store so repeated and sharded runs start warm.
 //
+// -coordinate n runs the whole sharded workflow in one command: the grid is
+// cut into n shard runs executed through a launcher (exec: worker
+// subprocesses of this binary, whose Command prefix is also the ssh seam;
+// inproc: goroutines), failed attempts are retried and stragglers
+// optionally relaunched within -coordinate-attempts, and the per-shard
+// outputs are stitched into -out byte-identical to the unsharded run.
+// Shard outputs and the manifest live in -coordinate-dir; every state
+// transition is committed atomically (temp+rename), so a coordinator
+// killed mid-run resumes its completed shards when rerun over the same
+// directory. SIGINT/SIGTERM cancel sweep and coordinator runs cleanly —
+// staged output files are discarded, never truncated — and exit 130.
+//
 // Sweeps run as a two-stage streaming pipeline: distinct compile keys are
 // compiled once into the artifact store (-compile-cache memory artifacts, 0
 // disables; plus the optional -artifact-dir disk tier) and rows are written
@@ -39,13 +54,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"ivliw/internal/arch"
 	"ivliw/internal/experiments"
@@ -81,6 +101,11 @@ func main() {
 	specPath := flag.String("spec", "", "run the sweep described by this spec file (JSON, see -spec-out) instead of the -sweep-* flags")
 	specOut := flag.String("spec-out", "", "write the sweep spec as JSON to this file and exit without running")
 	out := flag.String("out", "", "write sweep JSONL rows to this file instead of stdout")
+	coordinate := flag.Int("coordinate", 0, "run the sweep as this many coordinated shards: launch, retry, resume, stitch (0: off)")
+	coordDir := flag.String("coordinate-dir", "", "coordinator work dir (manifest + shard outputs); reuse it to resume a killed run (default: fresh temp dir)")
+	coordLaunch := flag.String("coordinate-launch", "exec", "shard launcher: exec (worker subprocesses) or inproc (goroutines)")
+	coordAttempts := flag.Int("coordinate-attempts", 3, "max attempts per shard (first try + retries + straggler backups)")
+	coordStraggler := flag.Duration("coordinate-straggler", 0, "relaunch a shard still running after this long (e.g. 90s; 0: never)")
 	flag.Parse()
 	usageErr := func(format string, args ...any) {
 		fmt.Fprintf(flag.CommandLine.Output(), "ivliw-bench: "+format+"\n", args...)
@@ -101,7 +126,28 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
-	if *sweepMode || *specPath != "" || *specOut != "" {
+	if *coordinate < 0 {
+		usageErr("-coordinate must be >= 0, got %d", *coordinate)
+	}
+	if *coordinate == 0 {
+		for _, name := range sortedNames(set) {
+			if name != "coordinate" && strings.HasPrefix(name, "coordinate-") {
+				usageErr("-%s only applies with -coordinate n", name)
+			}
+		}
+	} else {
+		if set["shard"] {
+			usageErr("-shard cannot be combined with -coordinate (the coordinator owns sharding)")
+		}
+		if *coordLaunch != "exec" && *coordLaunch != "inproc" {
+			usageErr("-coordinate-launch must be exec or inproc, got %q", *coordLaunch)
+		}
+		if *coordAttempts < 1 {
+			usageErr("-coordinate-attempts must be >= 1, got %d", *coordAttempts)
+		}
+	}
+
+	if *sweepMode || *specPath != "" || *specOut != "" || *coordinate > 0 {
 		if set["exp"] {
 			usageErr("-exp cannot be combined with -sweep/-spec/-spec-out")
 		}
@@ -201,20 +247,55 @@ func main() {
 			log.Printf("warning: shard %d/%d writes the spec's pinned output %q; give each shard its own -out",
 				spec.Shard.Index, spec.Shard.Count, spec.Output.Path)
 		}
-		if err := runSweep(spec); err != nil {
+		// SIGINT/SIGTERM cancel the run: cells stop dispatching, the staged
+		// output file is discarded (never a truncated JSONL), and the
+		// process exits with the conventional 130.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if *coordinate > 0 {
+			err = runCoordinated(ctx, spec, coordinatorCLI{
+				shards:    *coordinate,
+				dir:       *coordDir,
+				launch:    *coordLaunch,
+				attempts:  *coordAttempts,
+				straggler: *coordStraggler,
+			})
+		} else {
+			injectFault(spec.Shard) // no-op unless the CI fault hook is armed
+			err = runSweep(ctx, spec)
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				// File outputs are all-or-nothing (staged, never renamed on
+				// cancel); a stdout stream necessarily keeps the rows
+				// already written, so only claim the stronger guarantee
+				// when it actually held.
+				if spec.Output.Path != "" || *coordinate > 0 {
+					log.Print("interrupted; no partial output file written")
+				} else {
+					log.Print("interrupted")
+				}
+				os.Exit(130)
+			}
 			log.Fatal(err)
 		}
 		return
 	}
 
-	// The -exp experiments ignore the sweep-only flags; silently accepting
-	// them (e.g. -shard on three hosts triplicating work, or -compile-cache
-	// 0 "disabling" a cache the figure drivers never consult) would
+	// The -exp experiments deliberately keep the default signal semantics
+	// (SIGINT kills the process outright): they stream human-readable text
+	// to stdout with no staged files to protect, so the sweep path's
+	// cancel-and-discard machinery has nothing to save here.
+	//
+	// They also ignore the sweep-only flags; silently accepting them (e.g.
+	// -shard on three hosts triplicating work, or -compile-cache 0
+	// "disabling" a cache the figure drivers never consult) would
 	// misconfigure without a word, so reject the combination like the
 	// -spec/-sweep-* one.
 	for _, name := range sortedNames(set) {
 		sweepOnly := name == "shard" || name == "artifact-dir" || name == "out" ||
-			name == "compile-cache" || strings.HasPrefix(name, "sweep-")
+			name == "compile-cache" || strings.HasPrefix(name, "sweep-") ||
+			strings.HasPrefix(name, "coordinate")
 		if sweepOnly {
 			usageErr("-%s only applies to sweeps (add -sweep or -spec)", name)
 		}
@@ -511,8 +592,8 @@ func parseShard(s string) (sweep.Shard, error) {
 // completes, with distinct compile keys compiled once into the artifact
 // store. Store effectiveness is reported on stderr; the row stream itself
 // is byte-identical for any store configuration and worker count.
-func runSweep(spec sweep.Spec) error {
-	st, err := sweep.Run(spec, nil) // nil sink: buffered JSONL to Output.Path/stdout
+func runSweep(ctx context.Context, spec sweep.Spec) error {
+	st, err := sweep.Run(ctx, spec, nil) // nil sink: buffered JSONL to Output.Path/stdout
 	if err != nil {
 		return err
 	}
@@ -522,6 +603,73 @@ func runSweep(spec sweep.Spec) error {
 			spec.Store.Dir, st.DiskHits, st.DiskMisses, st.DiskWrites, st.DiskWriteErrors)
 	}
 	return nil
+}
+
+// coordinatorCLI carries the parsed -coordinate-* flag values.
+type coordinatorCLI struct {
+	shards    int
+	dir       string
+	launch    string
+	attempts  int
+	straggler time.Duration
+}
+
+// runCoordinated expands the spec into o.shards shard runs, executes them
+// through the selected launcher with retry/straggler handling, and stitches
+// the shard outputs into the spec's output path (stdout by default) —
+// byte-identical to the unsharded run. Reusing -coordinate-dir resumes
+// completed shards from the manifest after a kill.
+func runCoordinated(ctx context.Context, spec sweep.Spec, o coordinatorCLI) error {
+	var launcher sweep.Launcher
+	switch o.launch {
+	case "inproc":
+		launcher = sweep.InProcess{}
+	default: // "exec", validated in main
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("resolving own binary for the exec launcher: %w", err)
+		}
+		launcher = sweep.Exec{Command: []string{exe}, Stderr: os.Stderr}
+	}
+	st, err := sweep.Coordinate(ctx, spec, sweep.CoordinatorOptions{
+		Shards:         o.shards,
+		Launcher:       launcher,
+		Dir:            o.dir,
+		MaxAttempts:    o.attempts,
+		StragglerAfter: o.straggler,
+		Log:            log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("coordinator: %d shards (%d resumed), %d launches (%d retries, %d stragglers), %d rows stitched",
+		st.Shards, st.Resumed, st.Launches, st.Retries, st.Stragglers, st.Rows)
+	return nil
+}
+
+// injectFault is the CI fault hook (scripts/ci.sh step 7): when
+// IVLIW_FAULT_SHARD names this process's shard index and the
+// IVLIW_FAULT_MARKER file does not exist yet, the process creates the
+// marker and exits 1 before running any cells — a one-shot injected worker
+// failure that exercises the coordinator's retry path through real
+// subprocesses. Unset in normal operation, it does nothing.
+func injectFault(shard sweep.Shard) {
+	idx := os.Getenv("IVLIW_FAULT_SHARD")
+	marker := os.Getenv("IVLIW_FAULT_MARKER")
+	if idx == "" || marker == "" {
+		return
+	}
+	i, err := strconv.Atoi(idx)
+	if err != nil || i != shard.Index || shard.Count == 0 {
+		return
+	}
+	if _, err := os.Stat(marker); err == nil {
+		return // already failed once; run normally
+	}
+	if err := os.WriteFile(marker, []byte("fault injected\n"), 0o644); err != nil {
+		log.Fatalf("fault hook: %v", err)
+	}
+	log.Fatalf("injected fault: shard %d fails its first attempt", i)
 }
 
 // parseFUList parses a comma-separated list of int:fp:mem functional-unit

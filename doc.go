@@ -77,6 +77,32 @@
 // examples/sharded-sweep demonstrates spec files, 3-way sharding and warm
 // disk-store starts against the public package alone.
 //
+// # Coordinated sweeps
+//
+// sweep.Coordinate turns the manual sharding pattern ("ship the spec file,
+// run every shard, cat the outputs") into one crash-safe call: it expands a
+// Spec into n shard specs, runs them through a pluggable sweep.Launcher —
+// sweep.InProcess (goroutines) or sweep.Exec (worker subprocesses running
+// `ivliw-bench -spec F -shard i/n -out O`; prefixing the command with `ssh
+// host` is the multi-host seam over a shared filesystem) — retries failed
+// attempts and optionally relaunches stragglers within per-shard attempt
+// caps, and stitches the per-shard JSONL files into the final output
+// byte-identical to the unsharded run (gated by scripts/ci.sh).
+//
+// The coordinator is built on an all-or-nothing file discipline: shard
+// outputs, the manifest and the stitched result only ever appear via
+// whole-file atomic renames, so no reader can observe a truncated file. A
+// manifest in the work directory records the spec fingerprint and every
+// shard's status and attempt count, rewritten atomically on each
+// transition; a coordinator killed at any instant — including mid-write —
+// resumes by rerunning the same command over the same directory, restoring
+// completed shards for free (and, with a shared Spec.Store.Dir, even the
+// dead shards' compilations). Canceling the context (SIGINT/SIGTERM in
+// `ivliw-bench`, which then exits 130) tears attempts down promptly and
+// leaves only committed state behind. `ivliw-bench -coordinate n` wraps
+// the whole workflow as a CLI; examples/coordinated-sweep exercises
+// failure injection, stitching and resume against the public package.
+//
 // # Pipeline stages
 //
 // Compilation and simulation are two explicit stages with a serializable

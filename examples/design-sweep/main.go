@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 	}
 
 	var rows sweep.Collector
-	st, err := sweep.Run(spec, &rows)
+	st, err := sweep.Run(context.Background(), spec, &rows)
 	if err != nil {
 		log.Fatal(err)
 	}

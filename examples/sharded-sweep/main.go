@@ -16,6 +16,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -78,7 +79,7 @@ func main() {
 		shard := spec
 		shard.Shard = sweep.Shard{Index: i, Count: shards}
 		var buf bytes.Buffer
-		st, err := sweep.Run(shard, sweep.JSONL(&buf))
+		st, err := sweep.Run(context.Background(), shard, sweep.JSONL(&buf))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func main() {
 	// The unsharded reference now starts warm: every artifact the grid
 	// needs is already on disk.
 	var ref bytes.Buffer
-	st, err := sweep.Run(spec, sweep.JSONL(&ref))
+	st, err := sweep.Run(context.Background(), spec, sweep.JSONL(&ref))
 	if err != nil {
 		log.Fatal(err)
 	}

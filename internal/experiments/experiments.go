@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -113,7 +114,7 @@ func RunBenchStore(spec workload.BenchSpec, v Variant, st pipeline.Store) (stats
 // benchmarks across the worker pool.
 func RunSuite(v Variant) (map[string]stats.Bench, error) {
 	suite := workload.Suite()
-	res, err := runCells(len(suite), 0, func(i int) (stats.Bench, error) {
+	res, err := runCells(context.Background(), len(suite), 0, func(i int) (stats.Bench, error) {
 		return RunBench(suite[i], v)
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -41,8 +42,10 @@ func Workers() int {
 // GOMAXPROCS default), and a single-worker pool degrades to the serial
 // evaluation order. Results and errors are deterministic regardless of
 // scheduling: cell i's result lands in slot i, and the reported error is the
-// one from the lowest-indexed failing cell.
-func runCells[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
+// one from the lowest-indexed failing cell. Canceling ctx stops the
+// dispatch of new cells promptly (in-flight cells drain) and surfaces
+// ctx.Err() unless a cell had already failed.
+func runCells[T any](ctx context.Context, n, workers int, f func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers <= 0 {
 		workers = Workers()
@@ -52,6 +55,9 @@ func runCells[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			var err error
 			if out[i], err = f(i); err != nil {
 				return nil, err
@@ -68,11 +74,12 @@ func runCells[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for {
-				// Stop dispatching new cells once any cell has failed.
-				// Cells are handed out in ascending order, so every cell
-				// below the first failure still runs to completion and the
-				// lowest-indexed error below stays deterministic.
-				if failed.Load() {
+				// Stop dispatching new cells once any cell has failed or the
+				// context is canceled. Cells are handed out in ascending
+				// order, so every cell below the first failure still runs to
+				// completion and the lowest-indexed error below stays
+				// deterministic.
+				if failed.Load() || ctx.Err() != nil {
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -91,6 +98,9 @@ func runCells[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -108,7 +118,7 @@ var figureCache = pipeline.NewCache(pipeline.DefaultCacheSize)
 // shared figureCache.
 func benchCells(suite []workload.BenchSpec, variants []Variant) ([][]stats.Bench, error) {
 	nv := len(variants)
-	flat, err := runCells(len(suite)*nv, 0, func(i int) (stats.Bench, error) {
+	flat, err := runCells(context.Background(), len(suite)*nv, 0, func(i int) (stats.Bench, error) {
 		return RunBenchStore(suite[i/nv], variants[i%nv], figureCache)
 	})
 	if err != nil {

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"ivliw/internal/workload"
 )
@@ -22,7 +24,7 @@ func workloadByName(t *testing.T, name string) (workload.BenchSpec, bool) {
 // schedules them.
 func TestRunCellsOrdering(t *testing.T) {
 	n := 100
-	out, err := runCells(n, 4, func(i int) (int, error) { return i * i, nil })
+	out, err := runCells(context.Background(), n, 4, func(i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +39,7 @@ func TestRunCellsOrdering(t *testing.T) {
 // deterministically, even when later cells also fail.
 func TestRunCellsError(t *testing.T) {
 	want := errors.New("cell 7")
-	_, err := runCells(20, 4, func(i int) (int, error) {
+	_, err := runCells(context.Background(), 20, 4, func(i int) (int, error) {
 		if i >= 7 {
 			return 0, fmt.Errorf("cell %d", i)
 		}
@@ -52,7 +54,7 @@ func TestRunCellsError(t *testing.T) {
 // spawning workers.
 func TestRunCellsSerial(t *testing.T) {
 	var seen []int
-	out, err := runCells(5, 1, func(i int) (int, error) {
+	out, err := runCells(context.Background(), 5, 1, func(i int) (int, error) {
 		seen = append(seen, i)
 		return i, nil
 	})
@@ -98,7 +100,7 @@ func TestRunCellsFailureDeterminism(t *testing.T) {
 	const n = 64
 	for round := 0; round < 20; round++ {
 		var ran [n]atomic.Bool
-		_, err := runCells(n, 8, func(i int) (int, error) {
+		_, err := runCells(context.Background(), n, 8, func(i int) (int, error) {
 			ran[i].Store(true)
 			if i%5 == 3 { // cells 3, 8, 13, ... fail
 				return 0, fmt.Errorf("cell %d", i)
@@ -120,12 +122,12 @@ func TestRunCellsFailureDeterminism(t *testing.T) {
 // results for any pool size, including oversubscription.
 func TestRunCellsWorkerCountInvariance(t *testing.T) {
 	f := func(i int) (int, error) { return i*31 + 7, nil }
-	want, err := runCells(50, 1, f)
+	want, err := runCells(context.Background(), 50, 1, f)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 3, 8, 64} {
-		got, err := runCells(50, workers, f)
+		got, err := runCells(context.Background(), 50, workers, f)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +151,7 @@ func TestSetWorkers(t *testing.T) {
 	if runtime.GOMAXPROCS(0) != gmp {
 		t.Fatal("SetWorkers must not touch GOMAXPROCS")
 	}
-	out, err := runCells(10, 0, func(i int) (int, error) { return i, nil })
+	out, err := runCells(context.Background(), 10, 0, func(i int) (int, error) { return i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,5 +163,41 @@ func TestSetWorkers(t *testing.T) {
 	SetWorkers(0)
 	if Workers() != gmp {
 		t.Fatalf("Workers() after reset = %d, want GOMAXPROCS %d", Workers(), gmp)
+	}
+}
+
+// TestRunCellsContextCancel: a canceled context stops the dispatch of new
+// cells promptly (in-flight cells drain) and surfaces ctx.Err(); an
+// already-canceled context runs nothing at all — for both the serial and
+// the pooled path.
+func TestRunCellsContextCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		ran := false
+		if _, err := runCells(ctx, 16, workers, func(i int) (int, error) { ran = true; return i, nil }); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: pre-canceled err = %v, want context.Canceled", workers, err)
+		}
+		if ran {
+			t.Errorf("workers=%d: a cell ran under a canceled context", workers)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var dispatched atomic.Int64
+		_, err := runCells(ctx, 100000, workers, func(i int) (int, error) {
+			if dispatched.Add(1) == 5 {
+				cancel()
+			}
+			time.Sleep(100 * time.Microsecond)
+			return i, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if d := dispatched.Load(); d > 100 {
+			t.Errorf("workers=%d: %d cells dispatched after cancel, want prompt stop", workers, d)
+		}
 	}
 }

@@ -18,6 +18,12 @@
 #      slices over a fresh -artifact-dir, and re-run against the then-warm
 #      store must all be byte-identical to the cache-disabled single-process
 #      reference; malformed -shard values must exit 2
+#   7. the distributed sweep coordinator: `-coordinate 3` (exec launcher,
+#      real worker subprocesses) must stitch output byte-identical to the
+#      unsharded reference — including a run where one shard is forced to
+#      fail its first attempt (IVLIW_FAULT_SHARD hook) and is retried — and
+#      rerunning over the same -coordinate-dir must resume all shards from
+#      the manifest with zero launches
 #
 # Usage: scripts/ci.sh
 # To refresh the golden transcript after an *intentional* output change:
@@ -28,16 +34,16 @@ cd "$(dirname "$0")/.."
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== 1/6 go build ./... =="
+echo "== 1/7 go build ./... =="
 go build ./...
 
-echo "== 2/6 go vet ./... =="
+echo "== 2/7 go vet ./... =="
 go vet ./...
 
-echo "== 3/6 go test -race ./... =="
+echo "== 3/7 go test -race ./... =="
 go test -race ./...
 
-echo "== 4/6 paper-output byte identity (ivliw-bench -exp all) =="
+echo "== 4/7 paper-output byte identity (ivliw-bench -exp all) =="
 go build -o "$tmp/ivliw-bench" ./cmd/ivliw-bench
 "$tmp/ivliw-bench" -exp all > "$tmp/exp_all.txt"
 if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
@@ -47,7 +53,7 @@ if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
 fi
 echo "byte-identical"
 
-echo "== 5/6 sweep determinism across workers and compile cache =="
+echo "== 5/7 sweep determinism across workers and compile cache =="
 # run_sweep keeps stderr (cache-stats noise, but also any crash) in a log
 # that is replayed if the invocation fails.
 run_sweep() { # out_file, args...
@@ -87,7 +93,7 @@ if [ "$rows" -lt 12 ]; then
 fi
 echo "deterministic ($rows rows; workers 1/8 × cache on/off × stdout/-out)"
 
-echo "== 6/6 declarative specs, sharding and the disk artifact store =="
+echo "== 6/7 declarative specs, sharding and the disk artifact store =="
 # Capture the default flag grid as a spec file; running the file must be
 # byte-identical to the cache-disabled reference of step 5.
 "$tmp/ivliw-bench" -sweep -spec-out "$tmp/spec.json"
@@ -134,5 +140,61 @@ for bad in "3/3" "-1/3" "x/3" "1x3" "0/0"; do
   fi
 done
 echo "spec/shard/store byte-identical (3 shards; warm store compiles nothing)"
+
+echo "== 7/7 distributed sweep coordinator: stitch, retry, resume =="
+# Plain coordinated run over worker subprocesses: the stitched output must
+# reproduce the cache-disabled single-process reference byte for byte.
+coord="$tmp/coord"
+if ! "$tmp/ivliw-bench" -spec "$tmp/spec.json" -coordinate 3 -coordinate-dir "$coord" \
+    -out "$tmp/coord.jsonl" 2> "$tmp/coord_stderr.log"; then
+  echo "FAIL: ivliw-bench -coordinate 3 crashed:" >&2
+  cat "$tmp/coord_stderr.log" >&2
+  exit 1
+fi
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/coord.jsonl"; then
+  echo "FAIL: coordinated output differs from the unsharded reference" >&2
+  exit 1
+fi
+# Forced failure: shard 1's first worker process exits 1 (the fault hook
+# arms once per marker file); the coordinator must retry it and still
+# stitch identical bytes.
+if ! IVLIW_FAULT_SHARD=1 IVLIW_FAULT_MARKER="$tmp/fault.marker" \
+    "$tmp/ivliw-bench" -spec "$tmp/spec.json" -coordinate 3 -coordinate-dir "$tmp/coord_retry" \
+    -out "$tmp/coord_retry.jsonl" 2> "$tmp/coord_retry_stderr.log"; then
+  echo "FAIL: coordinator did not survive the injected shard failure:" >&2
+  cat "$tmp/coord_retry_stderr.log" >&2
+  exit 1
+fi
+if [ ! -e "$tmp/fault.marker" ]; then
+  echo "FAIL: the fault hook never fired (IVLIW_FAULT_SHARD stopped plumbing through)" >&2
+  exit 1
+fi
+if ! grep -q '1 retries' "$tmp/coord_retry_stderr.log"; then
+  echo "FAIL: coordinator did not report the retry:" >&2
+  cat "$tmp/coord_retry_stderr.log" >&2
+  exit 1
+fi
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/coord_retry.jsonl"; then
+  echo "FAIL: coordinated output with a retried shard differs from the reference" >&2
+  exit 1
+fi
+# Resume: rerunning over the completed work dir must launch nothing (all
+# shards restored from the manifest) and still emit identical bytes.
+if ! "$tmp/ivliw-bench" -spec "$tmp/spec.json" -coordinate 3 -coordinate-dir "$coord" \
+    -out "$tmp/coord_resume.jsonl" 2> "$tmp/coord_resume_stderr.log"; then
+  echo "FAIL: coordinator resume crashed:" >&2
+  cat "$tmp/coord_resume_stderr.log" >&2
+  exit 1
+fi
+if ! grep -q '3 resumed.*0 launches' "$tmp/coord_resume_stderr.log"; then
+  echo "FAIL: resume relaunched shards it should have restored from the manifest:" >&2
+  cat "$tmp/coord_resume_stderr.log" >&2
+  exit 1
+fi
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/coord_resume.jsonl"; then
+  echo "FAIL: resumed coordinator output differs from the reference" >&2
+  exit 1
+fi
+echo "coordinator byte-identical (3 worker subprocesses; 1 injected failure retried; resume launches 0)"
 
 echo "CI PASS"

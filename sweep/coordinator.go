@@ -1,0 +1,423 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// CoordinatorOptions parameterizes Coordinate: how many shards to cut the
+// grid into, how to launch them, where the coordinator keeps its durable
+// state, and how failures and stragglers are handled.
+type CoordinatorOptions struct {
+	// Shards is the number of shard specs the grid is expanded into
+	// (required, >= 1).
+	Shards int
+	// Launcher runs shard attempts; nil selects InProcess. An Exec launcher
+	// turns the coordinator into a multi-process (or, prefixed with ssh, a
+	// multi-host) run.
+	Launcher Launcher
+	// Dir is the coordinator's work directory: the shared base spec file,
+	// the per-shard output files and the manifest live there. Reusing a Dir
+	// resumes: shards the manifest records as done (and whose output files
+	// exist) are not relaunched. Empty means a fresh temp directory,
+	// removed when Coordinate returns — correct but resume-less. Exactly
+	// one coordinator may use a Dir at a time.
+	Dir string
+	// MaxAttempts caps the launches per shard — first tries, retries after
+	// failures and straggler backups all count (0 = 3).
+	MaxAttempts int
+	// StragglerAfter launches a backup attempt for any shard still running
+	// after this long, and again each further period, within MaxAttempts;
+	// the first attempt to finish wins and the rest are canceled. Shard
+	// outputs are deterministic and land by atomic rename, so twins racing
+	// on one output file are safe. 0 disables speculation.
+	StragglerAfter time.Duration
+	// Parallel bounds the number of concurrently running shards
+	// (0 = Shards, i.e. everything at once).
+	Parallel int
+	// Log receives progress lines (retries, stragglers, resume notes);
+	// nil discards them.
+	Log func(format string, args ...any)
+}
+
+// CoordinatorStats summarizes a coordinated run.
+type CoordinatorStats struct {
+	// Shards is the total shard count; Resumed of them were restored from
+	// the manifest without relaunching.
+	Shards, Resumed int
+	// Launches counts shard attempts started this run; Retries of them
+	// followed a failed attempt and Stragglers were speculative backups of
+	// attempts past the StragglerAfter deadline.
+	Launches, Retries, Stragglers int
+	// Rows is the row count of the stitched output.
+	Rows int
+}
+
+// Coordinate runs spec as opts.Shards cooperating shard runs and stitches
+// their outputs into the spec's Output.Path (stdout when empty), byte-
+// identical to the unsharded run. Failed attempts are retried and
+// stragglers optionally relaunched, within per-shard attempt caps; every
+// shard-state transition is committed to an atomically rewritten manifest
+// in the work directory, so a coordinator killed at any point — including
+// mid-write, since shard outputs only appear via whole-file renames —
+// restarts with `Coordinate` over the same Dir and resumes completed
+// shards for free. Pointing Spec.Store.Dir at a shared artifact directory
+// additionally lets shards share stage-1 compilations. Canceling ctx stops
+// launching promptly, tears running attempts down and returns ctx.Err()
+// with no stitched output.
+func Coordinate(ctx context.Context, spec Spec, opts CoordinatorOptions) (CoordinatorStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Shards < 1 {
+		return CoordinatorStats{}, fmt.Errorf("sweep: coordinator needs >= 1 shards, got %d", opts.Shards)
+	}
+	if spec.Shard.Count > 1 || spec.Shard.Index != 0 {
+		return CoordinatorStats{}, fmt.Errorf("sweep: the coordinator owns sharding; clear Spec.Shard (got %d/%d)",
+			spec.Shard.Index, spec.Shard.Count)
+	}
+	if err := spec.Validate(); err != nil {
+		return CoordinatorStats{}, err
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.Parallel <= 0 {
+		opts.Parallel = opts.Shards
+	}
+	if opts.Launcher == nil {
+		opts.Launcher = InProcess{}
+	}
+	if opts.Log == nil {
+		opts.Log = func(string, ...any) {}
+	}
+
+	dir := opts.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "ivliw-coordinate-*")
+		if err != nil {
+			return CoordinatorStats{}, fmt.Errorf("sweep: coordinator: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return CoordinatorStats{}, fmt.Errorf("sweep: coordinator: %w", err)
+	}
+
+	// The base spec every worker loads: sharding and output are per-attempt
+	// flags, so they are cleared from the shared file.
+	base := spec
+	base.Shard, base.Output = Shard{}, Output{}
+	hash, err := specHash(base)
+	if err != nil {
+		return CoordinatorStats{}, err
+	}
+	data, err := base.Encode()
+	if err != nil {
+		return CoordinatorStats{}, err
+	}
+	specPath := filepath.Join(dir, "spec.json")
+	if err := writeFileAtomic(specPath, data); err != nil {
+		return CoordinatorStats{}, fmt.Errorf("sweep: coordinator: %w", err)
+	}
+
+	// Sweep up staging leftovers of a killed predecessor: temp files never
+	// renamed into place. Committed shard outputs and the manifest are left
+	// alone — they are the resume state.
+	removeStaleTemps(dir, "shard_*.jsonl")
+	removeStaleTemps(dir, manifestName)
+	removeStaleTemps(dir, "spec.json")
+	if spec.Output.Path != "" {
+		removeStaleTemps(filepath.Dir(spec.Output.Path), filepath.Base(spec.Output.Path))
+	}
+
+	mf, resumed, err := openManifest(dir, hash, opts.Shards)
+	if err != nil {
+		return CoordinatorStats{}, err
+	}
+	if resumed > 0 {
+		opts.Log("coordinator: resuming %d/%d completed shards from %s", resumed, opts.Shards, dir)
+	}
+
+	c := &coordinator{spec: spec, opts: opts, dir: dir, specPath: specPath, mf: mf}
+	c.stats.Shards = opts.Shards
+	c.stats.Resumed = resumed
+	if err := c.runAll(ctx); err != nil {
+		return c.stats, err
+	}
+	rows, err := c.stitch()
+	if err != nil {
+		return c.stats, err
+	}
+	c.stats.Rows = rows
+	return c.stats, nil
+}
+
+// coordinator carries the per-run state shared by the shard goroutines.
+type coordinator struct {
+	spec     Spec
+	opts     CoordinatorOptions
+	dir      string
+	specPath string
+	mf       *manifest
+
+	mu    sync.Mutex
+	stats CoordinatorStats
+}
+
+// count mutates the shared stats under the lock.
+func (c *coordinator) count(fn func(*CoordinatorStats)) {
+	c.mu.Lock()
+	fn(&c.stats)
+	c.mu.Unlock()
+}
+
+// shardSpec derives shard i's spec: the base run, pinned to slice i/n and
+// to its canonical output file in the coordinator directory.
+func (c *coordinator) shardSpec(i int) Spec {
+	s := c.spec
+	s.Shard = Shard{Index: i, Count: c.opts.Shards}
+	s.Output = Output{Path: filepath.Join(c.dir, shardFileName(i))}
+	return s
+}
+
+// runAll drives every non-resumed shard to done under the Parallel bound.
+// A shard that exhausts its attempts fails the run, but deliberately does
+// not cancel its siblings: every shard that still completes commits its
+// output to the manifest, so the retry of a partially-failed run (same
+// Dir, perhaps after fixing a bad host) resumes everything but the broken
+// shard. Only a canceled ctx tears the whole run down.
+func (c *coordinator) runAll(ctx context.Context) error {
+	sem := make(chan struct{}, c.opts.Parallel)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < c.opts.Shards; i++ {
+		if c.mf.state(i).Status == shardDone {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				return
+			}
+			if err := c.runShard(ctx, i); err != nil {
+				mu.Lock()
+				// Keep the most informative error: a shard's real failure
+				// beats the context errors a cancellation causes in its
+				// siblings.
+				if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// runShard drives one shard through launch, retry and straggler backup
+// until an attempt produces the output file or the attempt cap is hit.
+func (c *coordinator) runShard(ctx context.Context, idx int) error {
+	// The per-shard context tears down losing twins the moment a winner
+	// lands (and every attempt when the run is canceled).
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	task := ShardTask{Spec: c.shardSpec(idx), SpecPath: c.specPath, Index: idx}
+	out := task.Spec.Output.Path
+	results := make(chan error, c.opts.MaxAttempts)
+	attempts, inFlight := 0, 0
+	// Every exit path cancels the shard context and reaps the in-flight
+	// attempt goroutines: losing straggler twins finish aborting their
+	// staged writes before the coordinator moves on (or the process exits),
+	// so cancellation leaves no writer behind.
+	defer func() {
+		cancel()
+		for inFlight > 0 {
+			<-results
+			inFlight--
+		}
+	}()
+	launch := func() error {
+		attempts++
+		t := task
+		t.Attempt = attempts
+		if err := c.mf.update(idx, func(s *shardState) { s.Status = shardRunning; s.Attempts = attempts }); err != nil {
+			return err
+		}
+		c.count(func(st *CoordinatorStats) { st.Launches++ })
+		// inFlight counts spawned goroutines only — a failed manifest write
+		// above must not leave the drain loop waiting on a send that will
+		// never come.
+		inFlight++
+		go func() { results <- c.opts.Launcher.Launch(sctx, t) }()
+		return nil
+	}
+	if err := launch(); err != nil {
+		return err
+	}
+
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	if c.opts.StragglerAfter > 0 {
+		timer = time.NewTimer(c.opts.StragglerAfter)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	rearm := func() {
+		if timer == nil {
+			return
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(c.opts.StragglerAfter)
+		timerC = timer.C
+	}
+
+	var lastErr error
+	for {
+		select {
+		case err := <-results:
+			inFlight--
+			if err == nil {
+				// Trust, but verify: a launcher reporting success without
+				// the output file present is an attempt failure, not a
+				// stitch-time surprise.
+				if _, serr := os.Stat(out); serr != nil {
+					err = fmt.Errorf("sweep: shard %d reported success without output: %w", idx, serr)
+				}
+			}
+			if err == nil {
+				// Straggler twins, if any, lose; the deferred drain reaps
+				// them.
+				return c.mf.update(idx, func(s *shardState) { s.Status = shardDone })
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			if attempts < c.opts.MaxAttempts {
+				c.opts.Log("coordinator: shard %d attempt %d/%d failed (%v); retrying",
+					idx, attempts, c.opts.MaxAttempts, err)
+				c.count(func(st *CoordinatorStats) { st.Retries++ })
+				if lerr := launch(); lerr != nil {
+					return lerr
+				}
+				rearm()
+			} else if inFlight == 0 {
+				if merr := c.mf.update(idx, func(s *shardState) { s.Status = shardFailed }); merr != nil {
+					return merr
+				}
+				return fmt.Errorf("sweep: shard %d/%d failed after %d attempts: %w",
+					idx, c.opts.Shards, attempts, lastErr)
+			}
+		case <-timerC:
+			if attempts < c.opts.MaxAttempts {
+				c.opts.Log("coordinator: shard %d still running after %v (attempt %d/%d); launching backup",
+					idx, c.opts.StragglerAfter, attempts, c.opts.MaxAttempts)
+				c.count(func(st *CoordinatorStats) { st.Stragglers++ })
+				if lerr := launch(); lerr != nil {
+					return lerr
+				}
+				timer.Reset(c.opts.StragglerAfter)
+			} else {
+				timerC = nil // at the cap: let the in-flight attempts finish
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// stitch concatenates the shard outputs, in shard order, into the final
+// output — Output.Path via the same all-or-nothing temp+rename write the
+// shards use, stdout otherwise. Every shard file it reads was produced by
+// an atomic rename, so truncated attempts are unreachable by construction;
+// the concatenation is byte-identical to the unsharded run.
+func (c *coordinator) stitch() (int, error) {
+	var w io.Writer = os.Stdout
+	var out *outputFile
+	if c.spec.Output.Path != "" {
+		var err error
+		if out, err = createOutput(c.spec.Output.Path); err != nil {
+			return 0, err
+		}
+		w = out.f
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	rows := 0
+	var err error
+	buf := make([]byte, 1<<16)
+	for i := 0; i < c.opts.Shards && err == nil; i++ {
+		rows, err = appendFile(bw, filepath.Join(c.dir, shardFileName(i)), buf, rows)
+	}
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	if out != nil {
+		if err == nil {
+			err = out.commit()
+		} else {
+			out.abort()
+		}
+	}
+	if err != nil {
+		return 0, err
+	}
+	return rows, nil
+}
+
+// appendFile streams path into w, counting rows (newlines) as it goes.
+func appendFile(w io.Writer, path string, buf []byte, rows int) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return rows, fmt.Errorf("sweep: stitch: %w", err)
+	}
+	defer f.Close()
+	for {
+		n, rerr := f.Read(buf)
+		rows += bytes.Count(buf[:n], []byte{'\n'})
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return rows, fmt.Errorf("sweep: stitch: %w", werr)
+			}
+		}
+		if rerr == io.EOF {
+			return rows, nil
+		}
+		if rerr != nil {
+			return rows, fmt.Errorf("sweep: stitch: %w", rerr)
+		}
+	}
+}
+
+// removeStaleTemps deletes never-committed staging files (base.tmp-*) in
+// dir — the only residue a killed writer can leave, since all committed
+// writes are renames.
+func removeStaleTemps(dir, base string) {
+	matches, _ := filepath.Glob(filepath.Join(dir, base+".tmp-*"))
+	for _, m := range matches {
+		os.Remove(m)
+	}
+}

@@ -1,0 +1,106 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// ShardTask describes one attempt at one shard of a coordinated sweep. The
+// coordinator hands tasks to a Launcher; every field is derived from the
+// coordinated spec, so launchers only decide *where* the work runs, never
+// *what* it is.
+type ShardTask struct {
+	// Spec is the fully resolved shard spec: Shard names this task's slice
+	// of the row grid and Output.Path the file the attempt must produce
+	// (all-or-nothing — Run's temp+rename write guarantees that for the
+	// in-process and subprocess launchers).
+	Spec Spec
+	// SpecPath is the shared base spec file in the coordinator's directory
+	// (Shard and Output cleared), for launchers that start `ivliw-bench
+	// -spec` processes instead of calling Run directly.
+	SpecPath string
+	// Index is the shard index in [0, CoordinatorOptions.Shards).
+	Index int
+	// Attempt is the 1-based attempt number at this shard, counting both
+	// retries after failures and straggler backups.
+	Attempt int
+}
+
+// Launcher runs one shard attempt to completion. Launch must honor ctx —
+// the coordinator cancels it to stop straggler twins once a winner lands
+// and to tear the run down on SIGINT — and must return non-nil if the
+// shard's output file was not produced. Implementations may run the shard
+// anywhere (goroutine, subprocess, remote host) as long as the output file
+// appears at task.Spec.Output.Path; a remote launcher over ssh is one
+// Launcher implementation away (see Exec, whose Command prefix already
+// composes with `ssh host` given a shared filesystem).
+type Launcher interface {
+	Launch(ctx context.Context, task ShardTask) error
+}
+
+// LaunchFunc adapts a plain function into a Launcher.
+type LaunchFunc func(ctx context.Context, task ShardTask) error
+
+// Launch implements Launcher.
+func (f LaunchFunc) Launch(ctx context.Context, task ShardTask) error { return f(ctx, task) }
+
+// InProcess runs shard attempts as goroutines inside the coordinator's
+// process — the zero-setup launcher for single-machine coordination and
+// tests. Shards share the process's artifact store configuration through
+// the spec (a Spec.Store.Dir makes them share compilations on disk; the
+// in-memory tiers are per-shard).
+type InProcess struct{}
+
+// Launch implements Launcher by running the shard spec directly.
+func (InProcess) Launch(ctx context.Context, task ShardTask) error {
+	_, err := Run(ctx, task.Spec, nil)
+	return err
+}
+
+// Exec runs each shard attempt as a subprocess: Command's argv is extended
+// with `-spec <SpecPath> -shard <i>/<n> -out <Output.Path>`, the exact
+// per-worker invocation documented for multi-process sweeps, so `ivliw-bench`
+// (or any flag-compatible binary) is a worker with no extra protocol. The
+// subprocess is killed when ctx is canceled. Prefixing Command with
+// `ssh host` turns it into a remote launcher over a shared filesystem —
+// the interface seam the coordinator leaves open.
+type Exec struct {
+	// Command is the argv prefix, e.g. {"/usr/bin/ivliw-bench"} or
+	// {"ssh", "worker-3", "ivliw-bench"}. It must not be empty.
+	Command []string
+	// Stderr receives the subprocess's stderr (nil discards it). Stdout is
+	// discarded: shard rows travel through the output file, never the pipe.
+	Stderr io.Writer
+	// Env appends to the coordinator's environment for each subprocess.
+	Env []string
+}
+
+// Launch implements Launcher by running the worker subprocess to completion.
+func (e Exec) Launch(ctx context.Context, task ShardTask) error {
+	if len(e.Command) == 0 {
+		return errors.New("sweep: exec launcher: empty command")
+	}
+	args := append(append([]string(nil), e.Command[1:]...),
+		"-spec", task.SpecPath,
+		"-shard", fmt.Sprintf("%d/%d", task.Spec.Shard.Index, task.Spec.Shard.Count),
+		"-out", task.Spec.Output.Path,
+	)
+	cmd := exec.CommandContext(ctx, e.Command[0], args...)
+	cmd.Stderr = e.Stderr
+	if len(e.Env) > 0 {
+		cmd.Env = append(os.Environ(), e.Env...)
+	}
+	if err := cmd.Run(); err != nil {
+		// A kill triggered by cancellation is the context's error, not the
+		// subprocess's: callers must be able to tell teardown from failure.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("sweep: shard %d attempt %d (%s): %w", task.Index, task.Attempt, e.Command[0], err)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// manifestName is the coordinator's durable state file within its work
+// directory.
+const manifestName = "manifest.json"
+
+// Shard statuses recorded in the manifest. Only shardDone survives a
+// coordinator restart; pending/running/failed shards are relaunched from
+// scratch (their attempt counters reset), since a crashed coordinator
+// cannot know how far a non-done shard got — and does not need to: shard
+// outputs are all-or-nothing files.
+const (
+	shardPending = "pending"
+	shardRunning = "running"
+	shardDone    = "done"
+	shardFailed  = "failed"
+)
+
+// shardState is one shard's durable record: where its output lands
+// (relative to the coordinator directory), how far it has come, and how
+// many attempts it has consumed.
+type shardState struct {
+	Index    int    `json:"index"`
+	Output   string `json:"output"`
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts"`
+}
+
+// manifest is the coordinator's crash-safe ledger: the spec fingerprint it
+// belongs to plus every shard's state, rewritten atomically (temp+rename)
+// on each transition. A coordinator killed at any instant restarts from the
+// last committed ledger; shards recorded done — whose output files exist —
+// are resumed for free.
+type manifest struct {
+	SpecHash string       `json:"spec_hash"`
+	Shards   []shardState `json:"shards"`
+
+	mu   sync.Mutex
+	path string
+}
+
+// shardFileName is the canonical per-shard output name inside the
+// coordinator directory.
+func shardFileName(i int) string { return fmt.Sprintf("shard_%d.jsonl", i) }
+
+// specHash fingerprints the semantic content of a spec — the grid, the
+// workload selection and the compiler configuration, the inputs that
+// determine row bytes. Per-process knobs (shard, output, store, workers)
+// are cleared first: they change where and how fast rows are produced,
+// never what they contain, so a resume across a moved artifact directory
+// or a different worker count still trusts completed shard outputs.
+func specHash(s Spec) (string, error) {
+	s.Shard, s.Output, s.Store, s.Workers = Shard{}, Output{}, Store{}, 0
+	b, err := s.Encode()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// openManifest loads the manifest from dir, or initializes a fresh one when
+// none exists or the existing one describes a different run (spec hash or
+// shard count mismatch) or is unreadable. Non-done states are reset to
+// pending with zeroed attempts; done shards whose output file has vanished
+// are demoted back to pending. The normalized manifest is persisted before
+// returning, and the number of shards resumed as done is reported.
+func openManifest(dir, hash string, shards int) (*manifest, int, error) {
+	path := filepath.Join(dir, manifestName)
+	fresh := func() *manifest {
+		m := &manifest{SpecHash: hash, path: path}
+		for i := 0; i < shards; i++ {
+			m.Shards = append(m.Shards, shardState{Index: i, Output: shardFileName(i), Status: shardPending})
+		}
+		return m
+	}
+	m := fresh()
+	if data, err := os.ReadFile(path); err == nil {
+		var prev manifest
+		if json.Unmarshal(data, &prev) == nil && prev.SpecHash == hash && len(prev.Shards) == shards {
+			prev.path = path
+			for i := range prev.Shards {
+				s := &prev.Shards[i]
+				s.Index = i
+				if s.Output == "" {
+					s.Output = shardFileName(i)
+				}
+				if s.Status == shardDone {
+					if _, err := os.Stat(filepath.Join(dir, s.Output)); err == nil {
+						continue
+					}
+				}
+				s.Status, s.Attempts = shardPending, 0
+			}
+			m = &prev
+		}
+	}
+	if err := m.save(); err != nil {
+		return nil, 0, err
+	}
+	done := 0
+	for _, s := range m.Shards {
+		if s.Status == shardDone {
+			done++
+		}
+	}
+	return m, done, nil
+}
+
+// save persists the manifest atomically. Callers serialize through update;
+// save itself assumes the caller holds the lock (or exclusive access during
+// openManifest).
+func (m *manifest) save() error {
+	b, err := json.MarshalIndent(struct {
+		SpecHash string       `json:"spec_hash"`
+		Shards   []shardState `json:"shards"`
+	}{m.SpecHash, m.Shards}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(m.path, append(b, '\n')); err != nil {
+		return fmt.Errorf("sweep: manifest: %w", err)
+	}
+	return nil
+}
+
+// update applies fn to shard i's state and persists the manifest atomically
+// — one transition, one durable ledger write.
+func (m *manifest) update(i int, fn func(*shardState)) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fn(&m.Shards[i])
+	return m.save()
+}
+
+// state returns a copy of shard i's current record.
+func (m *manifest) state(i int) shardState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Shards[i]
+}
+
+// writeFileAtomic writes data to path via a temp file in the same directory
+// and an atomic rename, so readers (including a coordinator restarted after
+// a kill) see either the previous content or the new one, never a prefix.
+// The umask-respecting createTempAt supplies the staging file.
+func writeFileAtomic(path string, data []byte) error {
+	f, err := createTempAt(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), path)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}

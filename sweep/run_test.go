@@ -2,10 +2,15 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"ivliw/internal/arch"
 	"ivliw/internal/core"
@@ -29,7 +34,7 @@ func smallSpec() Spec {
 func runJSONL(t *testing.T, spec Spec) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if _, err := Run(spec, JSONL(&buf)); err != nil {
+	if _, err := Run(context.Background(), spec, JSONL(&buf)); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -97,7 +102,7 @@ func TestRunGridNewAxes(t *testing.T) {
 		Compile:   Compile{Heuristic: "IPBC", Unroll: "none"},
 		Workers:   1,
 	}
-	if _, err := Run(spec, &rows); err != nil {
+	if _, err := Run(context.Background(), spec, &rows); err != nil {
 		t.Fatal(err)
 	}
 	if len(rows.Rows) != len(pts) {
@@ -181,7 +186,7 @@ func TestRunWarmDiskStore(t *testing.T) {
 	spec := smallSpec()
 	spec.Store = Store{Dir: t.TempDir()}
 	var cold bytes.Buffer
-	cst, err := Run(spec, JSONL(&cold))
+	cst, err := Run(context.Background(), spec, JSONL(&cold))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +194,7 @@ func TestRunWarmDiskStore(t *testing.T) {
 		t.Errorf("cold run stats = %+v, want every miss persisted", cst)
 	}
 	var warm bytes.Buffer
-	wst, err := Run(spec, JSONL(&warm))
+	wst, err := Run(context.Background(), spec, JSONL(&warm))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +215,7 @@ func TestRunWarmDiskStore(t *testing.T) {
 func TestRunSharesCompileAcrossSimulateOnlyAxes(t *testing.T) {
 	spec := smallSpec() // 3 cluster counts × 2 AB settings × 2 benches
 	spec.Workers = 1
-	st, err := Run(spec, Func(func(Row) error { return nil }))
+	st, err := Run(context.Background(), spec, Func(func(Row) error { return nil }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +235,7 @@ func TestRunBadPointFailsOneCell(t *testing.T) {
 	spec := smallSpec()
 	spec.Grid.Interleave = []int{3, 4}
 	var rows Collector
-	if _, err := Run(spec, &rows); err != nil {
+	if _, err := Run(context.Background(), spec, &rows); err != nil {
 		t.Fatal(err)
 	}
 	var failed, succeeded int
@@ -263,7 +268,7 @@ func TestRunRowShape(t *testing.T) {
 	spec.Grid = Grid{Clusters: []int{2}}
 	spec.Workloads = Workloads{Bench: []string{"g721dec"}}
 	var rows Collector
-	if _, err := Run(spec, &rows); err != nil {
+	if _, err := Run(context.Background(), spec, &rows); err != nil {
 		t.Fatal(err)
 	}
 	if len(rows.Rows) != 1 {
@@ -288,7 +293,7 @@ func TestRunRowShape(t *testing.T) {
 		t.Errorf("encoding is not one JSON object per line: %q", line)
 	}
 	var streamed bytes.Buffer
-	if _, err := Run(spec, JSONL(&streamed)); err != nil {
+	if _, err := Run(context.Background(), spec, JSONL(&streamed)); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(enc, streamed.Bytes()) {
@@ -298,7 +303,7 @@ func TestRunRowShape(t *testing.T) {
 
 // TestRunEmptyWorkloads: a spec selecting nothing is an error.
 func TestRunEmptyWorkloads(t *testing.T) {
-	if _, err := Run(Spec{}, Func(func(Row) error { return nil })); err == nil {
+	if _, err := Run(context.Background(), Spec{}, Func(func(Row) error { return nil })); err == nil {
 		t.Error("empty spec must fail")
 	}
 }
@@ -309,7 +314,7 @@ func TestRunSinkErrorStats(t *testing.T) {
 	spec := smallSpec()
 	spec.Workers = 1
 	n := 0
-	st, err := Run(spec, Func(func(Row) error {
+	st, err := Run(context.Background(), spec, Func(func(Row) error {
 		if n == 3 {
 			return errors.New("writer full")
 		}
@@ -417,5 +422,129 @@ func TestSynthWorkloadsDeterministic(t *testing.T) {
 	}
 	if bytes.Contains(a, []byte(`"error"`)) {
 		t.Error("synthetic sweep produced error rows")
+	}
+}
+
+// TestRunOutputAtomic: the nil-sink file path — what shard workers use —
+// commits the output via temp+rename: a successful run publishes exactly
+// the JSONL bytes with no staging residue, and a canceled run publishes
+// nothing at all (satellite of the coordinator, whose stitcher trusts any
+// existing shard file to be complete).
+func TestRunOutputAtomic(t *testing.T) {
+	spec := smallSpec()
+	ref := runJSONL(t, spec)
+	dir := t.TempDir()
+	spec.Output.Path = filepath.Join(dir, "out.jsonl")
+
+	st, err := Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(spec.Output.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Error("file output differs from the sink stream")
+	}
+	if st.Rows != bytes.Count(ref, []byte("\n")) {
+		t.Errorf("Stats.Rows = %d, want %d", st.Rows, bytes.Count(ref, []byte("\n")))
+	}
+	if stray, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(stray) != 0 {
+		t.Errorf("staging files left after commit: %v", stray)
+	}
+
+	// Pre-canceled: the run fails with ctx.Err() and the destination never
+	// appears — not even empty.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec.Output.Path = filepath.Join(dir, "never.jsonl")
+	if _, err := Run(ctx, spec, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(spec.Output.Path); err == nil {
+		t.Error("canceled run published an output file")
+	}
+	if stray, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(stray) != 0 {
+		t.Errorf("staging files left after cancellation: %v", stray)
+	}
+}
+
+// TestRunCancelMidRunAllOrNothing: whenever the cancel lands — before,
+// during or after the grid — the output file is either absent or complete,
+// never truncated.
+func TestRunCancelMidRunAllOrNothing(t *testing.T) {
+	spec := smallSpec()
+	spec.Workers = 2
+	ref := runJSONL(t, spec)
+	dir := t.TempDir()
+	for trial, delay := range []time.Duration{0, 2 * time.Millisecond, 20 * time.Millisecond} {
+		spec.Output.Path = filepath.Join(dir, fmt.Sprintf("out_%d.jsonl", trial))
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(delay)
+			cancel()
+		}()
+		_, err := Run(ctx, spec, nil)
+		cancel()
+		data, rerr := os.ReadFile(spec.Output.Path)
+		switch {
+		case err == nil:
+			if rerr != nil || !bytes.Equal(data, ref) {
+				t.Errorf("trial %d: successful run has wrong output (%v)", trial, rerr)
+			}
+		case errors.Is(err, context.Canceled):
+			if rerr == nil {
+				t.Errorf("trial %d: canceled run left an output file (%d bytes)", trial, len(data))
+			}
+		default:
+			t.Errorf("trial %d: unexpected error %v", trial, err)
+		}
+		if stray, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(stray) != 0 {
+			t.Errorf("trial %d: staging files left: %v", trial, stray)
+		}
+	}
+}
+
+// TestRunEmptyShard: a shard slicing past the row count (rows < Count) and
+// a worker pool wider than its rows still succeed with a valid, committed
+// empty output file and zeroed Stats — no odd window sizing, no missing
+// file for the stitcher.
+func TestRunEmptyShard(t *testing.T) {
+	spec := Spec{
+		Grid:      Grid{Clusters: []int{2, 4}},
+		Workloads: Workloads{Bench: []string{"g721dec"}},
+		Compile:   Compile{Unroll: "none"},
+		Workers:   8, // > 2 rows, and > 0 rows of the empty shard
+	}
+	dir := t.TempDir()
+
+	// Shard 1/5 of a 2-row grid is empty (rows land in shards 2 and 4).
+	spec.Shard = Shard{Index: 1, Count: 5}
+	spec.Output.Path = filepath.Join(dir, "empty.jsonl")
+	st, err := Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (Stats{}) {
+		t.Errorf("empty shard Stats = %+v, want all zero", st)
+	}
+	info, err := os.Stat(spec.Output.Path)
+	if err != nil {
+		t.Fatalf("empty shard must still commit its output file: %v", err)
+	}
+	if info.Size() != 0 {
+		t.Errorf("empty shard output has %d bytes, want 0", info.Size())
+	}
+
+	// A one-row shard under the same oversized pool emits exactly its row.
+	spec.Shard = Shard{Index: 2, Count: 5}
+	spec.Output.Path = filepath.Join(dir, "one.jsonl")
+	st, err = Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 1 {
+		t.Errorf("1-row shard emitted %d rows", st.Rows)
 	}
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"sync"
 
 	"ivliw/internal/experiments"
@@ -18,8 +19,15 @@ import (
 // written; an emit error stops the run.
 // On a cell error dispatch stops, already-dispatched cells drain, and the
 // lowest-indexed failing cell's error is returned (rows before it may
-// already have been emitted).
-func streamCells[T any](n, workers int, f func(i int) (T, error), emit func(i int, v T) error) error {
+// already have been emitted). Canceling ctx likewise stops dispatch and
+// emission promptly — in-flight cells drain without their rows being
+// emitted — and surfaces ctx.Err() unless a cell or emit error had already
+// been recorded. An n <= 0 grid (an empty shard) succeeds with no emit
+// calls, provided the context is still live.
+func streamCells[T any](ctx context.Context, n, workers int, f func(i int) (T, error), emit func(i int, v T) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if n <= 0 {
 		return nil
 	}
@@ -31,6 +39,9 @@ func streamCells[T any](n, workers int, f func(i int) (T, error), emit func(i in
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			v, err := f(i)
 			if err != nil {
 				return err
@@ -57,6 +68,15 @@ func streamCells[T any](n, workers int, f func(i int) (T, error), emit func(i in
 		emitErr  error
 		cellErrs map[int]error
 	)
+	// A canceled context stops the pool the same way an error does: wake
+	// every waiter, let in-flight cells drain, emit nothing further.
+	unregister := context.AfterFunc(ctx, func() {
+		mu.Lock()
+		stopped = true
+		cond.Broadcast()
+		mu.Unlock()
+	})
+	defer unregister()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -145,5 +165,8 @@ func streamCells[T any](n, workers int, f func(i int) (T, error), emit func(i in
 		}
 		return cellErrs[lowest]
 	}
-	return emitErr
+	if emitErr != nil {
+		return emitErr
+	}
+	return ctx.Err()
 }

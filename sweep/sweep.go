@@ -36,8 +36,12 @@ package sweep
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
+	"math/rand/v2"
 	"os"
 
 	"ivliw/internal/experiments"
@@ -58,12 +62,21 @@ type Stats struct {
 
 // Run executes the spec's shard of the sweep, streaming rows in grid order
 // to the sink. A nil sink writes JSONL to the spec's Output.Path (stdout
-// when that is empty too). A failing cell — an invalid machine point, a
-// compile error — yields a row with Error set instead of aborting the
-// sweep, so one bad point costs one cell, not the run. The returned error
-// is reserved for invalid specs, store setup failures and sink errors; on
-// a sink error the returned Stats still reflect the rows actually emitted.
-func Run(spec Spec, sink Sink) (Stats, error) {
+// when that is empty too); the file lands atomically — rows accumulate in a
+// temp file beside the destination and are renamed into place only when the
+// shard completes, so an interrupted or failing run never leaves a
+// truncated output behind (what the coordinator's stitcher relies on). A
+// failing cell — an invalid machine point, a compile error — yields a row
+// with Error set instead of aborting the sweep, so one bad point costs one
+// cell, not the run. Canceling ctx stops the dispatch of new cells
+// promptly, discards the staged output and returns ctx.Err(); a nil ctx
+// means context.Background(). The returned error is otherwise reserved for
+// invalid specs, store setup failures and sink errors; on a sink error the
+// returned Stats still reflect the rows actually emitted.
+func Run(ctx context.Context, spec Spec, sink Sink) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// resolve is Validate plus the materialized run inputs, in one pass:
 	// validating separately first would synthesize every synthetic workload
 	// population twice.
@@ -80,16 +93,15 @@ func Run(spec Spec, sink Sink) (Stats, error) {
 		return Stats{}, err
 	}
 
-	var closer io.Closer
+	var out *outputFile
 	var flush *bufio.Writer
 	if sink == nil {
 		var w io.Writer = os.Stdout
 		if spec.Output.Path != "" {
-			f, err := os.Create(spec.Output.Path)
-			if err != nil {
-				return Stats{}, fmt.Errorf("sweep: output: %w", err)
+			if out, err = createOutput(spec.Output.Path); err != nil {
+				return Stats{}, err
 			}
-			w, closer = f, f
+			w = out.f
 		}
 		flush = bufio.NewWriter(w)
 		sink = JSONL(flush)
@@ -99,7 +111,7 @@ func Run(spec Spec, sink Sink) (Stats, error) {
 	n := len(points) * nb
 	lo, hi := spec.Shard.Range(n)
 	emitted := 0
-	err = streamCells(hi-lo, spec.Workers,
+	err = streamCells(ctx, hi-lo, spec.Workers,
 		func(i int) (Row, error) {
 			c := lo + i
 			return cell(points[c/nb], benches[c%nb], mem), nil
@@ -111,14 +123,20 @@ func Run(spec Spec, sink Sink) (Stats, error) {
 			emitted++
 			return nil
 		})
-	if flush != nil {
-		if ferr := flush.Flush(); err == nil {
-			err = ferr
-		}
+	if flush != nil && err == nil {
+		// Only a completed shard flushes: after a failure or cancellation,
+		// pushing the buffered tail out would grow the partial stdout
+		// stream (the file path discards its staging temp regardless).
+		err = flush.Flush()
 	}
-	if closer != nil {
-		if cerr := closer.Close(); err == nil {
-			err = cerr
+	if out != nil {
+		// All-or-nothing: the destination only appears on success (an empty
+		// shard commits a valid empty file); any failure or cancellation
+		// discards the temp file.
+		if err == nil {
+			err = out.commit()
+		} else {
+			out.abort()
 		}
 	}
 
@@ -134,6 +152,63 @@ func Run(spec Spec, sink Sink) (Stats, error) {
 		return st, err
 	}
 	return st, nil
+}
+
+// outputFile stages an all-or-nothing output write: rows accumulate in a
+// temp file in the destination's directory and land via an atomic rename on
+// commit, so a crashed, canceled or failing run leaves no truncated file
+// for a later stitch to silently fold in.
+type outputFile struct {
+	f    *os.File
+	path string
+}
+
+// createOutput opens the staging temp file next to path (same directory, so
+// the commit rename never crosses a filesystem).
+func createOutput(path string) (*outputFile, error) {
+	f, err := createTempAt(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: output: %w", err)
+	}
+	return &outputFile{f: f, path: path}, nil
+}
+
+// createTempAt opens a unique `<path>.tmp-*` staging file in path's
+// directory, created at mode 0666 so the process umask applies — the
+// published file ends up with exactly the permissions a plain
+// os.Create(path) would have given it (os.CreateTemp's fixed 0600/0644
+// choices would either lock collaborators out or ignore a restrictive
+// umask). Unique names matter: straggler twins may stage the same
+// destination concurrently.
+func createTempAt(path string) (*os.File, error) {
+	for range 10000 {
+		name := fmt.Sprintf("%s.tmp-%d", path, rand.Int64())
+		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+		if errors.Is(err, fs.ErrExist) {
+			continue
+		}
+		return f, err
+	}
+	return nil, fmt.Errorf("could not create a staging file for %s", path)
+}
+
+// commit publishes the staged bytes at the destination path atomically.
+func (o *outputFile) commit() error {
+	err := o.f.Close()
+	if err == nil {
+		err = os.Rename(o.f.Name(), o.path)
+	}
+	if err != nil {
+		os.Remove(o.f.Name())
+		return fmt.Errorf("sweep: output: %w", err)
+	}
+	return nil
+}
+
+// abort discards the staged bytes, leaving the destination untouched.
+func (o *outputFile) abort() {
+	o.f.Close()
+	os.Remove(o.f.Name())
 }
 
 // open builds the configured store stack: an in-memory single-flight LRU,
