@@ -21,8 +21,13 @@
 //	ivliw-bench -spec run.json [-shard i/n] [-artifact-dir DIR]
 //	            [-out shard.jsonl]
 //	ivliw-bench -spec run.json -coordinate 3 [-coordinate-dir DIR]
-//	            [-coordinate-launch exec|inproc] [-coordinate-attempts 3]
-//	            [-coordinate-straggler 90s] [-out sweep.jsonl]
+//	            [-coordinate-launch exec|inproc|pool] [-coordinate-attempts 3]
+//	            [-coordinate-straggler 90s] [-coordinate-backoff 250ms]
+//	            [-coordinate-seed 1] [-out sweep.jsonl]
+//	ivliw-bench -spec run.json -coordinate 3 -coordinate-launch pool
+//	            [-pool-workers 3] [-pool-slots 1] [-pool-capacity 0]
+//	            [-pool-stale 2s] [-pool-heartbeat 500ms]
+//	            [-pool-quarantine 2] [-pool-backoff 1s]
 //
 // The sweep flags are a thin front end over the public ivliw/sweep package:
 // they parse into a declarative, serializable sweep.Spec. -spec-out writes
@@ -44,6 +49,16 @@
 // killed mid-run resumes its completed shards when rerun over the same
 // directory. SIGINT/SIGTERM cancel sweep and coordinator runs cleanly —
 // staged output files are discarded, never truncated — and exit 130.
+//
+// -coordinate-launch pool schedules the shard attempts across a
+// health-checked pool of worker subprocesses (sweep.Pool): each attempt
+// writes heartbeats (-heartbeat under the hood), attempts whose heartbeat
+// goes stale for -pool-stale are killed and retried, and workers that fail
+// repeatedly are quarantined with backoff. The IVLIW_FAULT_PLAN environment
+// variable may name a JSON fault plan (see ivliw/sweep/fault) that
+// deterministically crashes, hangs or wedges specific shard attempts and
+// kills specific pool workers — the harness scripts/ci.sh uses to prove
+// byte-identity survives worker failure.
 //
 // Sweeps run as a two-stage streaming pipeline: distinct compile keys are
 // compiled once into the artifact store (-compile-cache memory artifacts, 0
@@ -71,6 +86,7 @@ import (
 	"ivliw/internal/experiments"
 	"ivliw/internal/pipeline"
 	"ivliw/sweep"
+	"ivliw/sweep/fault"
 )
 
 func main() {
@@ -103,9 +119,20 @@ func main() {
 	out := flag.String("out", "", "write sweep JSONL rows to this file instead of stdout")
 	coordinate := flag.Int("coordinate", 0, "run the sweep as this many coordinated shards: launch, retry, resume, stitch (0: off)")
 	coordDir := flag.String("coordinate-dir", "", "coordinator work dir (manifest + shard outputs); reuse it to resume a killed run (default: fresh temp dir)")
-	coordLaunch := flag.String("coordinate-launch", "exec", "shard launcher: exec (worker subprocesses) or inproc (goroutines)")
+	coordLaunch := flag.String("coordinate-launch", "exec", "shard launcher: exec (worker subprocesses), inproc (goroutines) or pool (health-checked worker pool)")
 	coordAttempts := flag.Int("coordinate-attempts", 3, "max attempts per shard (first try + retries + straggler backups)")
 	coordStraggler := flag.Duration("coordinate-straggler", 0, "relaunch a shard still running after this long (e.g. 90s; 0: never)")
+	coordBackoff := flag.Duration("coordinate-backoff", 0, "base delay before retrying a failed shard attempt, doubled per retry with deterministic jitter (0: retry immediately)")
+	coordSeed := flag.Uint64("coordinate-seed", 0, "seed of the deterministic retry and quarantine jitter")
+	heartbeat := flag.String("heartbeat", "", "write liveness heartbeats to this file while the sweep runs (sweep/spec runs)")
+	heartbeatInterval := flag.Duration("heartbeat-interval", 0, "heartbeat period (0: 500ms; needs -heartbeat)")
+	poolWorkers := flag.Int("pool-workers", 3, "pool size for -coordinate-launch pool: worker subprocesses of this binary")
+	poolCapacity := flag.Int("pool-capacity", 0, "per-attempt -workers each pool worker advertises (0: worker default)")
+	poolSlots := flag.Int("pool-slots", 1, "concurrent shard attempts per pool worker")
+	poolStale := flag.Duration("pool-stale", 2*time.Second, "kill a pool attempt whose heartbeat is older than this (0: no heartbeat monitoring)")
+	poolHeartbeat := flag.Duration("pool-heartbeat", 0, "heartbeat period requested from pool workers (0: pool-stale/4)")
+	poolQuarantine := flag.Int("pool-quarantine", 2, "quarantine a pool worker after this many consecutive failures (-1: never)")
+	poolBackoff := flag.Duration("pool-backoff", time.Second, "base quarantine backoff, doubled per quarantine with deterministic jitter")
 	flag.Parse()
 	usageErr := func(format string, args ...any) {
 		fmt.Fprintf(flag.CommandLine.Output(), "ivliw-bench: "+format+"\n", args...)
@@ -139,12 +166,32 @@ func main() {
 		if set["shard"] {
 			usageErr("-shard cannot be combined with -coordinate (the coordinator owns sharding)")
 		}
-		if *coordLaunch != "exec" && *coordLaunch != "inproc" {
-			usageErr("-coordinate-launch must be exec or inproc, got %q", *coordLaunch)
+		if *coordLaunch != "exec" && *coordLaunch != "inproc" && *coordLaunch != "pool" {
+			usageErr("-coordinate-launch must be exec, inproc or pool, got %q", *coordLaunch)
 		}
 		if *coordAttempts < 1 {
 			usageErr("-coordinate-attempts must be >= 1, got %d", *coordAttempts)
 		}
+		if set["heartbeat"] || set["heartbeat-interval"] {
+			usageErr("-heartbeat is a per-worker knob; coordinated runs assign heartbeats through -coordinate-launch pool")
+		}
+	}
+	if !(*coordinate > 0 && *coordLaunch == "pool") {
+		for _, name := range sortedNames(set) {
+			if strings.HasPrefix(name, "pool-") {
+				usageErr("-%s only applies with -coordinate-launch pool", name)
+			}
+		}
+	} else {
+		if *poolWorkers < 1 {
+			usageErr("-pool-workers must be >= 1, got %d", *poolWorkers)
+		}
+		if *poolSlots < 1 {
+			usageErr("-pool-slots must be >= 1, got %d", *poolSlots)
+		}
+	}
+	if set["heartbeat-interval"] && !set["heartbeat"] {
+		usageErr("-heartbeat-interval needs -heartbeat")
 	}
 
 	if *sweepMode || *specPath != "" || *specOut != "" || *coordinate > 0 {
@@ -214,6 +261,14 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		// Heartbeats are a per-process knob like -out: applied after the
+		// spec is built, whichever way it was built.
+		if set["heartbeat"] {
+			spec.Heartbeat.Path = *heartbeat
+		}
+		if set["heartbeat-interval"] {
+			spec.Heartbeat.IntervalMS = int(heartbeatInterval.Milliseconds())
+		}
 		if *specOut != "" {
 			// Validate before writing: a captured spec file must be
 			// runnable. The run path below leaves validation to sweep.Run,
@@ -254,15 +309,34 @@ func main() {
 		defer stop()
 		if *coordinate > 0 {
 			err = runCoordinated(ctx, spec, coordinatorCLI{
-				shards:    *coordinate,
-				dir:       *coordDir,
-				launch:    *coordLaunch,
-				attempts:  *coordAttempts,
-				straggler: *coordStraggler,
+				shards:         *coordinate,
+				dir:            *coordDir,
+				launch:         *coordLaunch,
+				attempts:       *coordAttempts,
+				straggler:      *coordStraggler,
+				backoff:        *coordBackoff,
+				seed:           *coordSeed,
+				poolWorkers:    *poolWorkers,
+				poolCapacity:   *poolCapacity,
+				poolSlots:      *poolSlots,
+				poolStale:      *poolStale,
+				poolHeartbeat:  *poolHeartbeat,
+				poolQuarantine: *poolQuarantine,
+				poolBackoff:    *poolBackoff,
 			})
 		} else {
-			injectFault(spec.Shard) // no-op unless the CI fault hook is armed
+			// A scripted fault plan (armed via IVLIW_FAULT_PLAN, inherited
+			// from the coordinator) may make this worker crash, hang or
+			// wedge here — or corrupt its committed output afterwards.
+			plan, ferr := fault.FromEnv()
+			if ferr != nil {
+				log.Fatal(ferr)
+			}
+			ev := armFault(ctx, plan, spec)
 			err = runSweep(ctx, spec)
+			if err == nil && ev != nil && ev.Op == fault.CorruptOutput {
+				corruptOutput(spec.Output.Path)
+			}
 		}
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -294,8 +368,9 @@ func main() {
 	// -spec/-sweep-* one.
 	for _, name := range sortedNames(set) {
 		sweepOnly := name == "shard" || name == "artifact-dir" || name == "out" ||
-			name == "compile-cache" || strings.HasPrefix(name, "sweep-") ||
-			strings.HasPrefix(name, "coordinate")
+			name == "compile-cache" || name == "heartbeat" || name == "heartbeat-interval" ||
+			strings.HasPrefix(name, "sweep-") ||
+			strings.HasPrefix(name, "coordinate") || strings.HasPrefix(name, "pool-")
 		if sweepOnly {
 			usageErr("-%s only applies to sweeps (add -sweep or -spec)", name)
 		}
@@ -605,13 +680,23 @@ func runSweep(ctx context.Context, spec sweep.Spec) error {
 	return nil
 }
 
-// coordinatorCLI carries the parsed -coordinate-* flag values.
+// coordinatorCLI carries the parsed -coordinate-* and -pool-* flag values.
 type coordinatorCLI struct {
 	shards    int
 	dir       string
 	launch    string
 	attempts  int
 	straggler time.Duration
+	backoff   time.Duration
+	seed      uint64
+
+	poolWorkers    int
+	poolCapacity   int
+	poolSlots      int
+	poolStale      time.Duration
+	poolHeartbeat  time.Duration
+	poolQuarantine int
+	poolBackoff    time.Duration
 }
 
 // runCoordinated expands the spec into o.shards shard runs, executes them
@@ -621,9 +706,42 @@ type coordinatorCLI struct {
 // completed shards from the manifest after a kill.
 func runCoordinated(ctx context.Context, spec sweep.Spec, o coordinatorCLI) error {
 	var launcher sweep.Launcher
+	var pool *sweep.Pool
 	switch o.launch {
 	case "inproc":
 		launcher = sweep.InProcess{}
+	case "pool":
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("resolving own binary for the pool launcher: %w", err)
+		}
+		// The pool consumes dead-worker events itself; shard-scoped events
+		// fire inside the worker subprocesses, which inherit the env.
+		plan, err := fault.FromEnv()
+		if err != nil {
+			return err
+		}
+		var workers []sweep.Worker
+		for i := 0; i < o.poolWorkers; i++ {
+			workers = append(workers, sweep.Worker{
+				Name:     fmt.Sprintf("w%d", i),
+				Command:  []string{exe},
+				Capacity: o.poolCapacity,
+				Slots:    o.poolSlots,
+			})
+		}
+		pool = &sweep.Pool{
+			Workers:           workers,
+			StaleAfter:        o.poolStale,
+			HeartbeatInterval: o.poolHeartbeat,
+			QuarantineAfter:   o.poolQuarantine,
+			QuarantineBackoff: o.poolBackoff,
+			Seed:              o.seed,
+			Fault:             plan,
+			Stderr:            os.Stderr,
+			Log:               log.Printf,
+		}
+		launcher = pool
 	default: // "exec", validated in main
 		exe, err := os.Executable()
 		if err != nil {
@@ -637,8 +755,15 @@ func runCoordinated(ctx context.Context, spec sweep.Spec, o coordinatorCLI) erro
 		Dir:            o.dir,
 		MaxAttempts:    o.attempts,
 		StragglerAfter: o.straggler,
+		RetryBackoff:   o.backoff,
+		Seed:           o.seed,
 		Log:            log.Printf,
 	})
+	if pool != nil {
+		ps := pool.Stats()
+		log.Printf("pool: %d launches, %d stale kills, %d worker deaths, %d checksum failures, %d quarantines (%d readmissions)",
+			ps.Launches, ps.StaleKills, ps.WorkerDeaths, ps.ChecksumFailures, ps.Quarantines, ps.Readmissions)
+	}
 	if err != nil {
 		return err
 	}
@@ -647,29 +772,59 @@ func runCoordinated(ctx context.Context, spec sweep.Spec, o coordinatorCLI) erro
 	return nil
 }
 
-// injectFault is the CI fault hook (scripts/ci.sh step 7): when
-// IVLIW_FAULT_SHARD names this process's shard index and the
-// IVLIW_FAULT_MARKER file does not exist yet, the process creates the
-// marker and exits 1 before running any cells — a one-shot injected worker
-// failure that exercises the coordinator's retry path through real
-// subprocesses. Unset in normal operation, it does nothing.
-func injectFault(shard sweep.Shard) {
-	idx := os.Getenv("IVLIW_FAULT_SHARD")
-	marker := os.Getenv("IVLIW_FAULT_MARKER")
-	if idx == "" || marker == "" {
-		return
+// armFault applies this worker process's shard-scoped fault event, if any:
+// crash, hang and stale-heartbeat never return; corrupt-output is returned
+// for the caller to apply after the sweep commits. Unsharded runs (the
+// reference the faulted output is compared against) never match.
+func armFault(ctx context.Context, plan *fault.Plan, spec sweep.Spec) *fault.Event {
+	if spec.Shard.Count == 0 {
+		return nil
 	}
-	i, err := strconv.Atoi(idx)
-	if err != nil || i != shard.Index || shard.Count == 0 {
-		return
+	attempt := fault.AttemptFromEnv()
+	ev := plan.ForAttempt(spec.Shard.Index, attempt)
+	if ev == nil {
+		return nil
 	}
-	if _, err := os.Stat(marker); err == nil {
-		return // already failed once; run normally
+	switch ev.Op {
+	case fault.Crash:
+		log.Fatalf("fault: crash (shard %d, attempt %d)", spec.Shard.Index, attempt)
+	case fault.Hang:
+		log.Printf("fault: hang (shard %d, attempt %d)", spec.Shard.Index, attempt)
+		<-ctx.Done()
+		os.Exit(130)
+	case fault.StaleHeartbeat:
+		// One beat, then wedge: the process stays alive and beating-silent,
+		// exactly the failure a stale-heartbeat monitor exists to catch.
+		log.Printf("fault: stale-heartbeat (shard %d, attempt %d)", spec.Shard.Index, attempt)
+		if spec.Heartbeat.Path != "" {
+			if err := sweep.WriteBeat(spec.Heartbeat.Path, sweep.Beat{
+				Shard: spec.Shard.Index, Seq: 1, Status: sweep.BeatRunning,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		<-ctx.Done()
+		os.Exit(130)
 	}
-	if err := os.WriteFile(marker, []byte("fault injected\n"), 0o644); err != nil {
-		log.Fatalf("fault hook: %v", err)
+	return ev
+}
+
+// corruptOutput flips one byte of the committed output file — scripted disk
+// corruption between a worker's commit and the coordinator's stitch, caught
+// by the pool's checksum verification.
+func corruptOutput(path string) {
+	if path == "" {
+		log.Fatal("fault: corrupt-output needs a file output")
 	}
-	log.Fatalf("injected fault: shard %d fails its first attempt", i)
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		log.Fatalf("fault: corrupt-output %s: unreadable or empty (%v)", path, err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("fault: corrupt-output: %v", err)
+	}
+	log.Printf("fault: corrupt-output (flipped a byte of %s)", path)
 }
 
 // parseFUList parses a comma-separated list of int:fp:mem functional-unit

@@ -103,6 +103,34 @@
 // the whole workflow as a CLI; examples/coordinated-sweep exercises
 // failure injection, stitching and resume against the public package.
 //
+// # Worker pools and health
+//
+// sweep.Pool is the health-checked Launcher: it schedules shard attempts
+// across a registry of sweep.Worker entries (each a command prefix — the
+// ssh seam again — plus advertised capacity, used to size the per-shard
+// `-workers`, and a slot count bounding concurrent attempts). Liveness is
+// heartbeat-based rather than deadline-based: every attempt writes an
+// atomically renamed beat file (`ivliw-bench -heartbeat`, or
+// Spec.Heartbeat via sweep.Run), the final beat carries the row count and
+// the sha256 of the committed output, and the pool kills any attempt whose
+// beats go stale — catching a hung worker in O(StaleAfter) instead of
+// waiting out a straggler deadline sized for the slowest honest shard. The
+// done-beat checksum is re-verified against the shard file before the
+// attempt counts as complete, so a corrupted output is retried instead of
+// stitched.
+//
+// Failure domains are per worker: consecutive failures quarantine the
+// worker under capped exponential backoff with deterministic jitter
+// (readmitted after the delay), and a worker that dies requeues all of its
+// in-flight shards at once onto the survivors. The coordinator manifest
+// records, per attempt, which worker served it and how it failed. A
+// deterministic fault harness (ivliw/sweep/fault, armed via the
+// IVLIW_FAULT_PLAN env var) scripts crashes, hangs, stale heartbeats,
+// corrupt outputs and dead workers by shard/attempt/worker, which is how
+// scripts/ci.sh step 8 gates that shard outputs stay byte-identical under
+// every recovery path. `ivliw-bench -coordinate n -coordinate-launch pool`
+// wraps it; examples/worker-pool drives a faulted pool end to end.
+//
 // # Pipeline stages
 //
 // Compilation and simulation are two explicit stages with a serializable

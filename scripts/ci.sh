@@ -20,10 +20,18 @@
 #      reference; malformed -shard values must exit 2
 #   7. the distributed sweep coordinator: `-coordinate 3` (exec launcher,
 #      real worker subprocesses) must stitch output byte-identical to the
-#      unsharded reference — including a run where one shard is forced to
-#      fail its first attempt (IVLIW_FAULT_SHARD hook) and is retried — and
-#      rerunning over the same -coordinate-dir must resume all shards from
-#      the manifest with zero launches
+#      unsharded reference — including a run where one shard's first attempt
+#      is crashed by a scripted fault plan (IVLIW_FAULT_PLAN, see
+#      ivliw/sweep/fault) and retried — and rerunning over the same
+#      -coordinate-dir must resume all shards from the manifest with zero
+#      launches
+#   8. the health-checked worker pool: `-coordinate-launch pool` over 3
+#      worker subprocesses must stitch byte-identical output and record the
+#      serving worker per shard in the manifest — including under a fault
+#      plan that kills one worker and hangs one attempt (caught by the
+#      stale-heartbeat monitor, far before a straggler deadline would fire)
+#      — and the run snapshot (pool overhead vs plain exec, stale vs
+#      straggler detection latency) is written to BENCH_6.json
 #
 # Usage: scripts/ci.sh
 # To refresh the golden transcript after an *intentional* output change:
@@ -34,16 +42,16 @@ cd "$(dirname "$0")/.."
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== 1/7 go build ./... =="
+echo "== 1/8 go build ./... =="
 go build ./...
 
-echo "== 2/7 go vet ./... =="
+echo "== 2/8 go vet ./... =="
 go vet ./...
 
-echo "== 3/7 go test -race ./... =="
+echo "== 3/8 go test -race ./... =="
 go test -race ./...
 
-echo "== 4/7 paper-output byte identity (ivliw-bench -exp all) =="
+echo "== 4/8 paper-output byte identity (ivliw-bench -exp all) =="
 go build -o "$tmp/ivliw-bench" ./cmd/ivliw-bench
 "$tmp/ivliw-bench" -exp all > "$tmp/exp_all.txt"
 if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
@@ -53,7 +61,7 @@ if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
 fi
 echo "byte-identical"
 
-echo "== 5/7 sweep determinism across workers and compile cache =="
+echo "== 5/8 sweep determinism across workers and compile cache =="
 # run_sweep keeps stderr (cache-stats noise, but also any crash) in a log
 # that is replayed if the invocation fails.
 run_sweep() { # out_file, args...
@@ -93,7 +101,7 @@ if [ "$rows" -lt 12 ]; then
 fi
 echo "deterministic ($rows rows; workers 1/8 × cache on/off × stdout/-out)"
 
-echo "== 6/7 declarative specs, sharding and the disk artifact store =="
+echo "== 6/8 declarative specs, sharding and the disk artifact store =="
 # Capture the default flag grid as a spec file; running the file must be
 # byte-identical to the cache-disabled reference of step 5.
 "$tmp/ivliw-bench" -sweep -spec-out "$tmp/spec.json"
@@ -141,7 +149,7 @@ for bad in "3/3" "-1/3" "x/3" "1x3" "0/0"; do
 done
 echo "spec/shard/store byte-identical (3 shards; warm store compiles nothing)"
 
-echo "== 7/7 distributed sweep coordinator: stitch, retry, resume =="
+echo "== 7/8 distributed sweep coordinator: stitch, retry, resume =="
 # Plain coordinated run over worker subprocesses: the stitched output must
 # reproduce the cache-disabled single-process reference byte for byte.
 coord="$tmp/coord"
@@ -155,18 +163,20 @@ if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/coord.jsonl"; then
   echo "FAIL: coordinated output differs from the unsharded reference" >&2
   exit 1
 fi
-# Forced failure: shard 1's first worker process exits 1 (the fault hook
-# arms once per marker file); the coordinator must retry it and still
-# stitch identical bytes.
-if ! IVLIW_FAULT_SHARD=1 IVLIW_FAULT_MARKER="$tmp/fault.marker" \
+# Forced failure: a scripted fault plan crashes shard 1's first attempt
+# (and only that attempt — events are keyed by shard AND attempt, no marker
+# files); the coordinator must retry it and still stitch identical bytes.
+echo '{"events":[{"op":"crash","shard":1,"attempt":1}]}' > "$tmp/crash_plan.json"
+if ! IVLIW_FAULT_PLAN="$tmp/crash_plan.json" \
     "$tmp/ivliw-bench" -spec "$tmp/spec.json" -coordinate 3 -coordinate-dir "$tmp/coord_retry" \
-    -out "$tmp/coord_retry.jsonl" 2> "$tmp/coord_retry_stderr.log"; then
+    -coordinate-backoff 50ms -out "$tmp/coord_retry.jsonl" 2> "$tmp/coord_retry_stderr.log"; then
   echo "FAIL: coordinator did not survive the injected shard failure:" >&2
   cat "$tmp/coord_retry_stderr.log" >&2
   exit 1
 fi
-if [ ! -e "$tmp/fault.marker" ]; then
-  echo "FAIL: the fault hook never fired (IVLIW_FAULT_SHARD stopped plumbing through)" >&2
+if ! grep -q 'fault: crash' "$tmp/coord_retry_stderr.log"; then
+  echo "FAIL: the fault plan never fired (IVLIW_FAULT_PLAN stopped plumbing through):" >&2
+  cat "$tmp/coord_retry_stderr.log" >&2
   exit 1
 fi
 if ! grep -q '1 retries' "$tmp/coord_retry_stderr.log"; then
@@ -196,5 +206,102 @@ if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/coord_resume.jsonl"; then
   exit 1
 fi
 echo "coordinator byte-identical (3 worker subprocesses; 1 injected failure retried; resume launches 0)"
+
+echo "== 8/8 health-checked worker pool: heartbeats, failure domains, fault plan =="
+now_ns() { date +%s%N; }
+# Timed plain-exec reference (fresh work dir so nothing resumes) for the
+# pool-overhead snapshot.
+t0=$(now_ns)
+if ! "$tmp/ivliw-bench" -spec "$tmp/spec.json" -coordinate 3 -coordinate-dir "$tmp/exec_ref" \
+    -out "$tmp/exec_ref.jsonl" 2> "$tmp/exec_ref_stderr.log"; then
+  echo "FAIL: exec reference run crashed:" >&2
+  cat "$tmp/exec_ref_stderr.log" >&2
+  exit 1
+fi
+exec_ns=$(( $(now_ns) - t0 ))
+# Plain pool run: 3 worker subprocesses, heartbeat monitoring on. Must be
+# byte-identical and attribute every shard to a worker in the manifest.
+t0=$(now_ns)
+if ! "$tmp/ivliw-bench" -spec "$tmp/spec.json" -coordinate 3 -coordinate-launch pool \
+    -pool-workers 3 -pool-stale 2s -coordinate-dir "$tmp/pool" \
+    -out "$tmp/pool.jsonl" 2> "$tmp/pool_stderr.log"; then
+  echo "FAIL: pool run crashed:" >&2
+  cat "$tmp/pool_stderr.log" >&2
+  exit 1
+fi
+pool_ns=$(( $(now_ns) - t0 ))
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/pool.jsonl"; then
+  echo "FAIL: pool output differs from the unsharded reference" >&2
+  exit 1
+fi
+if ! grep -q '"worker": "w' "$tmp/pool/manifest.json"; then
+  echo "FAIL: pool manifest does not attribute shards to workers:" >&2
+  cat "$tmp/pool/manifest.json" >&2
+  exit 1
+fi
+# Fault plan: worker w1 dies on its first launch (its in-flight shard must
+# requeue and the worker quarantine) and shard 2's first attempt hangs
+# without heartbeating (the stale monitor must kill and retry it). The
+# stitched bytes must still be identical.
+echo '{"events":[{"op":"dead-worker","worker":"w1"},{"op":"hang","shard":2,"attempt":1}]}' \
+  > "$tmp/pool_plan.json"
+t0=$(now_ns)
+if ! IVLIW_FAULT_PLAN="$tmp/pool_plan.json" \
+    "$tmp/ivliw-bench" -spec "$tmp/spec.json" -coordinate 3 -coordinate-launch pool \
+    -pool-workers 3 -pool-stale 1s -pool-backoff 100ms -coordinate-backoff 50ms \
+    -coordinate-attempts 4 -coordinate-seed 7 -coordinate-dir "$tmp/pool_fault" \
+    -out "$tmp/pool_fault.jsonl" 2> "$tmp/pool_fault_stderr.log"; then
+  echo "FAIL: pool run did not survive the fault plan:" >&2
+  cat "$tmp/pool_fault_stderr.log" >&2
+  exit 1
+fi
+pool_fault_ns=$(( $(now_ns) - t0 ))
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/pool_fault.jsonl"; then
+  echo "FAIL: pool output under the fault plan differs from the reference" >&2
+  exit 1
+fi
+for want in 'worker w1 died' 'quarantined' 'heartbeat stale'; do
+  if ! grep -q "$want" "$tmp/pool_fault_stderr.log"; then
+    echo "FAIL: faulted pool run never reported '$want':" >&2
+    cat "$tmp/pool_fault_stderr.log" >&2
+    exit 1
+  fi
+done
+# Detection-latency comparison: the same hang handled by the coordinator's
+# straggler deadline alone (plain exec launcher, no heartbeats). The pool's
+# stale monitor must beat the straggler deadline by a wide margin.
+echo '{"events":[{"op":"hang","shard":2,"attempt":1}]}' > "$tmp/hang_plan.json"
+t0=$(now_ns)
+if ! IVLIW_FAULT_PLAN="$tmp/hang_plan.json" \
+    "$tmp/ivliw-bench" -spec "$tmp/spec.json" -coordinate 3 -coordinate-straggler 4s \
+    -coordinate-dir "$tmp/straggle" -out "$tmp/straggle.jsonl" 2> "$tmp/straggle_stderr.log"; then
+  echo "FAIL: straggler comparison run crashed:" >&2
+  cat "$tmp/straggle_stderr.log" >&2
+  exit 1
+fi
+straggle_ns=$(( $(now_ns) - t0 ))
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/straggle.jsonl"; then
+  echo "FAIL: straggler comparison output differs from the reference" >&2
+  exit 1
+fi
+# Snapshot for PERFORMANCE.md. Byte-identity above is the hard gate; the
+# timings are recorded, not thresholded (sub-second runs are noisy).
+awk -v exec_ns="$exec_ns" -v pool_ns="$pool_ns" \
+    -v fault_ns="$pool_fault_ns" -v straggle_ns="$straggle_ns" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" 'BEGIN {
+  printf "{\n"
+  printf "  \"snapshot\": 6,\n"
+  printf "  \"date\": \"%s\",\n", date
+  printf "  \"go\": \"%s\",\n", gover
+  printf "  \"plain_exec_seconds\": %.3f,\n", exec_ns / 1e9
+  printf "  \"pool_seconds\": %.3f,\n", pool_ns / 1e9
+  printf "  \"pool_overhead_pct\": %.1f,\n", (pool_ns - exec_ns) * 100.0 / exec_ns
+  printf "  \"pool_fault_recovery_seconds\": %.3f,\n", fault_ns / 1e9
+  printf "  \"straggler_recovery_seconds\": %.3f\n", straggle_ns / 1e9
+  printf "}\n"
+}' > BENCH_6.json
+echo "pool byte-identical (plain, dead-worker+hang fault plan); manifest attributes workers"
+echo "snapshot written to BENCH_6.json:"
+cat BENCH_6.json
 
 echo "CI PASS"

@@ -43,6 +43,17 @@ type CoordinatorOptions struct {
 	// Parallel bounds the number of concurrently running shards
 	// (0 = Shards, i.e. everything at once).
 	Parallel int
+	// RetryBackoff delays the relaunch after a failed attempt: retry k of
+	// a shard waits min(RetryBackoff<<k-1, RetryBackoffMax), jittered
+	// deterministically by Seed into [d/2, d], instead of hammering a
+	// struggling worker immediately. 0 retries at once (the previous
+	// behavior); RetryBackoffMax 0 caps at 32x the base. Straggler backups
+	// are never delayed — they exist to cut latency.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// Seed feeds the retry jitter; identical (Seed, shard, attempt)
+	// triples always wait identically, keeping runs reproducible.
+	Seed uint64
 	// Log receives progress lines (retries, stragglers, resume notes);
 	// nil discards them.
 	Log func(format string, args ...any)
@@ -112,10 +123,10 @@ func Coordinate(ctx context.Context, spec Spec, opts CoordinatorOptions) (Coordi
 		return CoordinatorStats{}, fmt.Errorf("sweep: coordinator: %w", err)
 	}
 
-	// The base spec every worker loads: sharding and output are per-attempt
-	// flags, so they are cleared from the shared file.
+	// The base spec every worker loads: sharding, output and heartbeat are
+	// per-attempt flags, so they are cleared from the shared file.
 	base := spec
-	base.Shard, base.Output = Shard{}, Output{}
+	base.Shard, base.Output, base.Heartbeat = Shard{}, Output{}, Heartbeat{}
 	hash, err := specHash(base)
 	if err != nil {
 		return CoordinatorStats{}, err
@@ -186,6 +197,9 @@ func (c *coordinator) shardSpec(i int) Spec {
 	s := c.spec
 	s.Shard = Shard{Index: i, Count: c.opts.Shards}
 	s.Output = Output{Path: filepath.Join(c.dir, shardFileName(i))}
+	// Heartbeats are per-attempt: a health-checking launcher (the pool)
+	// assigns its own beat files; a plain launcher runs without them.
+	s.Heartbeat = Heartbeat{}
 	return s
 }
 
@@ -232,6 +246,13 @@ func (c *coordinator) runAll(ctx context.Context) error {
 	return firstErr
 }
 
+// attemptResult pairs a finished attempt's number with its outcome, so the
+// coordinator can attribute the result to the right history record.
+type attemptResult struct {
+	attempt int
+	err     error
+}
+
 // runShard drives one shard through launch, retry and straggler backup
 // until an attempt produces the output file or the attempt cap is hit.
 func (c *coordinator) runShard(ctx context.Context, idx int) error {
@@ -242,7 +263,7 @@ func (c *coordinator) runShard(ctx context.Context, idx int) error {
 
 	task := ShardTask{Spec: c.shardSpec(idx), SpecPath: c.specPath, Index: idx}
 	out := task.Spec.Output.Path
-	results := make(chan error, c.opts.MaxAttempts)
+	results := make(chan attemptResult, c.opts.MaxAttempts)
 	attempts, inFlight := 0, 0
 	// Every exit path cancels the shard context and reaps the in-flight
 	// attempt goroutines: losing straggler twins finish aborting their
@@ -259,7 +280,17 @@ func (c *coordinator) runShard(ctx context.Context, idx int) error {
 		attempts++
 		t := task
 		t.Attempt = attempts
-		if err := c.mf.update(idx, func(s *shardState) { s.Status = shardRunning; s.Attempts = attempts }); err != nil {
+		// Placement-aware launchers report the worker through Assigned;
+		// the manifest write is best-effort attribution, never a failure.
+		attempt := attempts
+		t.Assigned = func(worker string) {
+			_ = c.mf.update(idx, func(s *shardState) { s.record(attempt).Worker = worker })
+		}
+		if err := c.mf.update(idx, func(s *shardState) {
+			s.Status = shardRunning
+			s.Attempts = attempts
+			s.record(attempt)
+		}); err != nil {
 			return err
 		}
 		c.count(func(st *CoordinatorStats) { st.Launches++ })
@@ -267,7 +298,7 @@ func (c *coordinator) runShard(ctx context.Context, idx int) error {
 		// above must not leave the drain loop waiting on a send that will
 		// never come.
 		inFlight++
-		go func() { results <- c.opts.Launcher.Launch(sctx, t) }()
+		go func() { results <- attemptResult{attempt, c.opts.Launcher.Launch(sctx, t)} }()
 		return nil
 	}
 	if err := launch(); err != nil {
@@ -298,8 +329,9 @@ func (c *coordinator) runShard(ctx context.Context, idx int) error {
 	var lastErr error
 	for {
 		select {
-		case err := <-results:
+		case res := <-results:
 			inFlight--
+			err := res.err
 			if err == nil {
 				// Trust, but verify: a launcher reporting success without
 				// the output file present is an attempt failure, not a
@@ -310,16 +342,41 @@ func (c *coordinator) runShard(ctx context.Context, idx int) error {
 			}
 			if err == nil {
 				// Straggler twins, if any, lose; the deferred drain reaps
-				// them.
-				return c.mf.update(idx, func(s *shardState) { s.Status = shardDone })
+				// them. The winner's worker (if a placement-aware launcher
+				// reported one) is promoted to the shard record.
+				return c.mf.update(idx, func(s *shardState) {
+					s.Status = shardDone
+					s.Worker = s.record(res.attempt).Worker
+				})
 			}
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
 			lastErr = err
+			// The failure goes into the attempt's post-mortem record
+			// (bounded: error strings can carry long stderr tails).
+			msg := err.Error()
+			if len(msg) > 300 {
+				msg = msg[:297] + "..."
+			}
+			if merr := c.mf.update(idx, func(s *shardState) { s.record(res.attempt).Error = msg }); merr != nil {
+				return merr
+			}
 			if attempts < c.opts.MaxAttempts {
-				c.opts.Log("coordinator: shard %d attempt %d/%d failed (%v); retrying",
-					idx, attempts, c.opts.MaxAttempts, err)
+				d := backoffDelay(c.opts.RetryBackoff, c.opts.RetryBackoffMax, attempts-1,
+					splitmix64(c.opts.Seed^uint64(idx)<<20^uint64(attempts)))
+				if d > 0 {
+					c.opts.Log("coordinator: shard %d attempt %d/%d failed (%v); retrying in %v",
+						idx, attempts, c.opts.MaxAttempts, err, d.Round(time.Millisecond))
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+				} else {
+					c.opts.Log("coordinator: shard %d attempt %d/%d failed (%v); retrying",
+						idx, attempts, c.opts.MaxAttempts, err)
+				}
 				c.count(func(st *CoordinatorStats) { st.Retries++ })
 				if lerr := launch(); lerr != nil {
 					return lerr

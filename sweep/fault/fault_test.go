@@ -1,0 +1,120 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseAndValidate(t *testing.T) {
+	p, err := Parse([]byte(`{"events":[
+		{"op":"crash","shard":1,"attempt":1},
+		{"op":"hang","shard":2},
+		{"op":"dead-worker","worker":"w1","launch":2}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 3 {
+		t.Fatalf("got %d events, want 3", len(p.Events))
+	}
+
+	bad := map[string]string{
+		`{"events":[{"op":"melt"}]}`:                               "unknown op",
+		`{"events":[{"op":"dead-worker"}]}`:                        "needs a worker name",
+		`{"events":[{"op":"crash","worker":"w0"}]}`:                "only apply to",
+		`{"events":[{"op":"dead-worker","worker":"w","shard":1}]}`: "do not apply",
+		`{"events":[{"op":"crash","shard":-1}]}`:                   "must be >= 0",
+		`{"events":[],"extra":1}`:                                  "unknown field",
+		`{"events":[]} trailing`:                                   "trailing data",
+	}
+	for in, want := range bad {
+		if _, err := Parse([]byte(in)); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("Parse(%s) err = %v, want mention of %q", in, err, want)
+		}
+	}
+}
+
+func TestForAttempt(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Op: Crash, Shard: 1, Attempt: 1},
+		{Op: Hang, Shard: 2}, // attempt 0: every attempt
+		{Op: DeadWorker, Worker: "w0"},
+	}}
+	if ev := p.ForAttempt(1, 1); ev == nil || ev.Op != Crash {
+		t.Errorf("shard 1 attempt 1 = %+v, want the crash", ev)
+	}
+	if ev := p.ForAttempt(1, 2); ev != nil {
+		t.Errorf("shard 1 attempt 2 = %+v, want no match (attempt pinned to 1)", ev)
+	}
+	if ev := p.ForAttempt(2, 7); ev == nil || ev.Op != Hang {
+		t.Errorf("shard 2 attempt 7 = %+v, want the wildcard hang", ev)
+	}
+	if ev := p.ForAttempt(0, 1); ev != nil {
+		t.Errorf("shard 0 = %+v, want no match (dead-worker is not shard-scoped)", ev)
+	}
+	var nilPlan *Plan
+	if ev := nilPlan.ForAttempt(0, 1); ev != nil {
+		t.Errorf("nil plan matched %+v", ev)
+	}
+}
+
+func TestForLaunch(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Op: DeadWorker, Worker: "w1"}, // launch 0 = first launch
+		{Op: DeadWorker, Worker: "w2", Launch: 3},
+		{Op: Crash, Shard: 0},
+	}}
+	if ev := p.ForLaunch("w1", 1); ev == nil {
+		t.Error("w1 launch 1 should match the default-launch event")
+	}
+	if ev := p.ForLaunch("w1", 2); ev != nil {
+		t.Errorf("w1 launch 2 = %+v, want no match", ev)
+	}
+	if ev := p.ForLaunch("w2", 3); ev == nil {
+		t.Error("w2 launch 3 should match")
+	}
+	if ev := p.ForLaunch("w3", 1); ev != nil {
+		t.Errorf("unknown worker matched %+v", ev)
+	}
+	var nilPlan *Plan
+	if ev := nilPlan.ForLaunch("w1", 1); ev != nil {
+		t.Errorf("nil plan matched %+v", ev)
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvPlan, "")
+	if p, err := FromEnv(); p != nil || err != nil {
+		t.Errorf("unarmed FromEnv = %v, %v; want nil, nil", p, err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(`{"events":[{"op":"crash","shard":1,"attempt":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(EnvPlan, path)
+	p, err := FromEnv()
+	if err != nil || p == nil || len(p.Events) != 1 {
+		t.Fatalf("armed FromEnv = %v, %v; want the 1-event plan", p, err)
+	}
+	t.Setenv(EnvPlan, filepath.Join(t.TempDir(), "missing.json"))
+	if _, err := FromEnv(); err == nil {
+		t.Error("a missing armed plan file must error, not silently drill nothing")
+	}
+}
+
+func TestAttemptFromEnv(t *testing.T) {
+	t.Setenv(EnvAttempt, "")
+	if n := AttemptFromEnv(); n != 1 {
+		t.Errorf("unset attempt = %d, want 1", n)
+	}
+	t.Setenv(EnvAttempt, "3")
+	if n := AttemptFromEnv(); n != 3 {
+		t.Errorf("attempt = %d, want 3", n)
+	}
+	t.Setenv(EnvAttempt, "bogus")
+	if n := AttemptFromEnv(); n != 1 {
+		t.Errorf("unparsable attempt = %d, want 1", n)
+	}
+}

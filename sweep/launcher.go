@@ -7,6 +7,12 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"ivliw/sweep/fault"
 )
 
 // ShardTask describes one attempt at one shard of a coordinated sweep. The
@@ -28,6 +34,12 @@ type ShardTask struct {
 	// Attempt is the 1-based attempt number at this shard, counting both
 	// retries after failures and straggler backups.
 	Attempt int
+	// Assigned, when non-nil, is called by placement-aware launchers (the
+	// Pool) with the name of the worker this attempt was scheduled onto,
+	// before the attempt starts — the coordinator records it in the
+	// manifest for post-mortem. Launchers without placement (InProcess,
+	// a bare Exec) never call it.
+	Assigned func(worker string)
 }
 
 // Launcher runs one shard attempt to completion. Launch must honor ctx —
@@ -37,7 +49,8 @@ type ShardTask struct {
 // anywhere (goroutine, subprocess, remote host) as long as the output file
 // appears at task.Spec.Output.Path; a remote launcher over ssh is one
 // Launcher implementation away (see Exec, whose Command prefix already
-// composes with `ssh host` given a shared filesystem).
+// composes with `ssh host` given a shared filesystem), and Pool adds
+// health checking across a registry of them.
 type Launcher interface {
 	Launch(ctx context.Context, task ShardTask) error
 }
@@ -64,19 +77,74 @@ func (InProcess) Launch(ctx context.Context, task ShardTask) error {
 // Exec runs each shard attempt as a subprocess: Command's argv is extended
 // with `-spec <SpecPath> -shard <i>/<n> -out <Output.Path>`, the exact
 // per-worker invocation documented for multi-process sweeps, so `ivliw-bench`
-// (or any flag-compatible binary) is a worker with no extra protocol. The
-// subprocess is killed when ctx is canceled. Prefixing Command with
-// `ssh host` turns it into a remote launcher over a shared filesystem —
-// the interface seam the coordinator leaves open.
+// (or any flag-compatible binary) is a worker with no extra protocol. On
+// cancellation the subprocess gets SIGTERM and a grace period to run its
+// SIGINT-clean teardown (discard staged temps, exit 130) before SIGKILL.
+// Prefixing Command with `ssh host` turns it into a remote launcher over a
+// shared filesystem — the interface seam the coordinator leaves open.
 type Exec struct {
 	// Command is the argv prefix, e.g. {"/usr/bin/ivliw-bench"} or
 	// {"ssh", "worker-3", "ivliw-bench"}. It must not be empty.
 	Command []string
 	// Stderr receives the subprocess's stderr (nil discards it). Stdout is
 	// discarded: shard rows travel through the output file, never the pipe.
+	// Independently of Stderr, the last stderr bytes are kept in a bounded
+	// ring and surfaced in the returned error of a failed attempt.
 	Stderr io.Writer
 	// Env appends to the coordinator's environment for each subprocess.
 	Env []string
+	// Extra appends additional argv entries after the standard flags —
+	// the seam the pool uses for `-heartbeat`, `-heartbeat-interval` and
+	// `-workers`.
+	Extra []string
+	// Grace is how long a canceled subprocess gets between SIGTERM and
+	// SIGKILL (0 = 3s).
+	Grace time.Duration
+}
+
+// execStderrTail bounds the stderr ring kept for failed-attempt errors.
+const execStderrTail = 4096
+
+// tailBuffer is a bounded ring keeping the last max bytes written —
+// enough stderr tail to say why a worker died without unbounded growth.
+type tailBuffer struct {
+	mu   sync.Mutex
+	max  int
+	buf  []byte
+	full bool
+}
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(p)
+	if n >= t.max {
+		t.buf = append(t.buf[:0], p[n-t.max:]...)
+		t.full = true
+		return n, nil
+	}
+	if len(t.buf)+n > t.max {
+		drop := len(t.buf) + n - t.max
+		t.buf = append(t.buf[:0], t.buf[drop:]...)
+		t.full = true
+	}
+	t.buf = append(t.buf, p...)
+	return n, nil
+}
+
+// tail renders the ring as a single error-friendly line.
+func (t *tailBuffer) tail() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := strings.TrimSpace(string(t.buf))
+	if s == "" {
+		return ""
+	}
+	s = strings.ReplaceAll(s, "\n", " | ")
+	if t.full {
+		s = "..." + s
+	}
+	return s
 }
 
 // Launch implements Launcher by running the worker subprocess to completion.
@@ -89,16 +157,37 @@ func (e Exec) Launch(ctx context.Context, task ShardTask) error {
 		"-shard", fmt.Sprintf("%d/%d", task.Spec.Shard.Index, task.Spec.Shard.Count),
 		"-out", task.Spec.Output.Path,
 	)
+	args = append(args, e.Extra...)
 	cmd := exec.CommandContext(ctx, e.Command[0], args...)
-	cmd.Stderr = e.Stderr
-	if len(e.Env) > 0 {
-		cmd.Env = append(os.Environ(), e.Env...)
+	tail := &tailBuffer{max: execStderrTail}
+	if e.Stderr != nil {
+		cmd.Stderr = io.MultiWriter(e.Stderr, tail)
+	} else {
+		cmd.Stderr = tail
 	}
+	// The attempt number rides the environment so a scripted fault plan
+	// (sweep/fault) can target "shard i, attempt j" deterministically.
+	cmd.Env = append(os.Environ(), e.Env...)
+	cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%d", fault.EnvAttempt, task.Attempt))
+	// Cancellation means teardown, not murder: SIGTERM first, so the worker
+	// runs its signal-clean exit (discarding staged temps), SIGKILL only
+	// after the grace. CommandContext's default is an immediate SIGKILL,
+	// which could land mid-rename.
+	grace := e.Grace
+	if grace <= 0 {
+		grace = 3 * time.Second
+	}
+	cmd.Cancel = func() error { return cmd.Process.Signal(syscall.SIGTERM) }
+	cmd.WaitDelay = grace
 	if err := cmd.Run(); err != nil {
 		// A kill triggered by cancellation is the context's error, not the
 		// subprocess's: callers must be able to tell teardown from failure.
 		if ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if t := tail.tail(); t != "" {
+			return fmt.Errorf("sweep: shard %d attempt %d (%s): %w (stderr: %s)",
+				task.Index, task.Attempt, e.Command[0], err, t)
 		}
 		return fmt.Errorf("sweep: shard %d attempt %d (%s): %w", task.Index, task.Attempt, e.Command[0], err)
 	}

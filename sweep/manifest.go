@@ -26,14 +26,38 @@ const (
 	shardFailed  = "failed"
 )
 
+// attemptRecord is the post-mortem trail of one launch: which worker the
+// attempt was assigned to (when the launcher reports one — the pool does)
+// and how it failed, if it did. The winning attempt has an empty Error.
+type attemptRecord struct {
+	Attempt int    `json:"attempt"`
+	Worker  string `json:"worker,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
 // shardState is one shard's durable record: where its output lands
-// (relative to the coordinator directory), how far it has come, and how
-// many attempts it has consumed.
+// (relative to the coordinator directory), how far it has come, how many
+// attempts it has consumed, which worker served the winning attempt, and
+// the per-attempt history for post-mortem.
 type shardState struct {
-	Index    int    `json:"index"`
-	Output   string `json:"output"`
-	Status   string `json:"status"`
-	Attempts int    `json:"attempts"`
+	Index    int             `json:"index"`
+	Output   string          `json:"output"`
+	Status   string          `json:"status"`
+	Attempts int             `json:"attempts"`
+	Worker   string          `json:"worker,omitempty"`
+	History  []attemptRecord `json:"history,omitempty"`
+}
+
+// record returns the history entry for the given attempt number, creating
+// it if absent. Callers hold the manifest lock (via update).
+func (s *shardState) record(attempt int) *attemptRecord {
+	for i := range s.History {
+		if s.History[i].Attempt == attempt {
+			return &s.History[i]
+		}
+	}
+	s.History = append(s.History, attemptRecord{Attempt: attempt})
+	return &s.History[len(s.History)-1]
 }
 
 // manifest is the coordinator's crash-safe ledger: the spec fingerprint it
@@ -60,7 +84,7 @@ func shardFileName(i int) string { return fmt.Sprintf("shard_%d.jsonl", i) }
 // never what they contain, so a resume across a moved artifact directory
 // or a different worker count still trusts completed shard outputs.
 func specHash(s Spec) (string, error) {
-	s.Shard, s.Output, s.Store, s.Workers = Shard{}, Output{}, Store{}, 0
+	s.Shard, s.Output, s.Store, s.Workers, s.Heartbeat = Shard{}, Output{}, Store{}, 0, Heartbeat{}
 	b, err := s.Encode()
 	if err != nil {
 		return "", err
@@ -101,6 +125,7 @@ func openManifest(dir, hash string, shards int) (*manifest, int, error) {
 					}
 				}
 				s.Status, s.Attempts = shardPending, 0
+				s.Worker, s.History = "", nil
 			}
 			m = &prev
 		}

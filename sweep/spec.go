@@ -44,6 +44,10 @@ type Spec struct {
 	// Output names the default JSONL destination (used when Run is given a
 	// nil sink; "" = stdout).
 	Output Output `json:"output"`
+	// Heartbeat, when set, makes Run write liveness beats while the shard
+	// executes — a per-process knob like Output, omitted from canonical
+	// encodings when zero so existing spec files are unchanged.
+	Heartbeat Heartbeat `json:"heartbeat,omitzero"`
 }
 
 // Workloads selects the benchmarks of a sweep: named paper benchmarks,
@@ -127,6 +131,21 @@ type Output struct {
 	Path string `json:"path,omitempty"`
 }
 
+// Heartbeat configures Run's liveness reporting: while the shard executes,
+// a Beat is written atomically to Path every interval, and a final
+// BeatDone beat — carrying the row count and the sha256 of the committed
+// output — lands when the shard commits. Monitors (the pool's watcher)
+// declare the attempt dead when the file's mtime goes stale. Like Output,
+// this is a per-process knob: it never affects row bytes and is cleared
+// from spec fingerprints.
+type Heartbeat struct {
+	// Path receives the beats ("" disables heartbeats).
+	Path string `json:"path,omitempty"`
+	// IntervalMS is the beat period in milliseconds
+	// (0 = DefaultHeartbeatInterval).
+	IntervalMS int `json:"interval_ms,omitempty"`
+}
+
 // Validate reports the first problem that would make the spec unusable: a
 // malformed grid axis, an unknown benchmark or heuristic name, an invalid
 // synthetic spec, an empty workload selection, a negative worker count, or
@@ -144,6 +163,9 @@ func (s Spec) Validate() error {
 func (s Spec) resolve() (core.Options, []workload.BenchSpec, error) {
 	if s.Workers < 0 {
 		return core.Options{}, nil, fmt.Errorf("sweep: workers must be >= 0 (0 = default), got %d", s.Workers)
+	}
+	if s.Heartbeat.IntervalMS < 0 {
+		return core.Options{}, nil, fmt.Errorf("sweep: heartbeat interval_ms must be >= 0 (0 = default), got %d", s.Heartbeat.IntervalMS)
 	}
 	if err := s.Grid.validate(); err != nil {
 		return core.Options{}, nil, err

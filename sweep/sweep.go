@@ -37,12 +37,16 @@ package sweep
 import (
 	"bufio"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"io/fs"
 	"math/rand/v2"
 	"os"
+	"time"
 
 	"ivliw/internal/experiments"
 	"ivliw/internal/pipeline"
@@ -93,8 +97,22 @@ func Run(ctx context.Context, spec Spec, sink Sink) (Stats, error) {
 		return Stats{}, err
 	}
 
+	// Liveness: beats start before the first cell (so monitors see the
+	// attempt alive during store warmup) and stop on every exit path. Only
+	// a successful commit writes the final BeatDone beat — see below.
+	var hb *beater
+	if spec.Heartbeat.Path != "" {
+		interval := DefaultHeartbeatInterval
+		if spec.Heartbeat.IntervalMS > 0 {
+			interval = time.Duration(spec.Heartbeat.IntervalMS) * time.Millisecond
+		}
+		hb = startBeater(spec.Heartbeat.Path, interval, spec.Shard.Index)
+		defer hb.halt()
+	}
+
 	var out *outputFile
 	var flush *bufio.Writer
+	var hasher hash.Hash
 	if sink == nil {
 		var w io.Writer = os.Stdout
 		if spec.Output.Path != "" {
@@ -102,6 +120,12 @@ func Run(ctx context.Context, spec Spec, sink Sink) (Stats, error) {
 				return Stats{}, err
 			}
 			w = out.f
+			if hb != nil {
+				// Tee the output bytes through a hasher so the final beat
+				// can certify the committed file without re-reading it.
+				hasher = sha256.New()
+				w = io.MultiWriter(out.f, hasher)
+			}
 		}
 		flush = bufio.NewWriter(w)
 		sink = JSONL(flush)
@@ -138,6 +162,13 @@ func Run(ctx context.Context, spec Spec, sink Sink) (Stats, error) {
 		} else {
 			out.abort()
 		}
+	}
+	if hb != nil && err == nil {
+		sum := ""
+		if hasher != nil {
+			sum = hex.EncodeToString(hasher.Sum(nil))
+		}
+		hb.finish(emitted, sum)
 	}
 
 	st := Stats{Rows: emitted}
