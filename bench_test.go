@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"ivliw"
+	"ivliw/internal/arch"
 	"ivliw/internal/experiments"
+	"ivliw/internal/pipeline"
 	"ivliw/internal/stats"
 	"ivliw/internal/workload"
 	"ivliw/sweep"
@@ -396,3 +398,98 @@ func BenchmarkSweepDiskStoreCold(b *testing.B) { benchmarkSweepDisk(b, false) }
 // BenchmarkSweepDiskStoreWarm: repeated run against a populated artifact
 // directory (every key loads from disk; nothing compiles).
 func BenchmarkSweepDiskStoreWarm(b *testing.B) { benchmarkSweepDisk(b, true) }
+
+// benchmarkSweepBatch measures batched-simulation sweep throughput on a grid
+// carved to exactly `siblings` simulate-only lanes per compile key (the AB ×
+// MSHR axes). The artifact store is a pre-warmed disk directory so compile
+// cost amortizes out and the measurement isolates the simulate path — the
+// part batching changes. simBatch 0 is the PR 6 code path (cell-at-a-time),
+// the baseline the scaling curve is read against; with batching on, the
+// cells/s curve is superlinear in sibling count because the event-merge
+// front half is paid once per batch instead of once per cell.
+func benchmarkSweepBatch(b *testing.B, siblings, simBatch int) {
+	spec := sweepBenchSpec(0)
+	switch siblings {
+	case 1:
+		spec.Grid.ABEntries, spec.Grid.MSHRs = []int{16}, []int{8}
+	case 2:
+		spec.Grid.ABEntries, spec.Grid.MSHRs = []int{0, 16}, []int{8}
+	case 4:
+		// sweepBenchSpec's own 2 AB × 2 MSHR axes.
+	case 8:
+		spec.Grid.MSHRs = []int{0, 2, 4, 8}
+	default:
+		b.Fatalf("no grid carve for %d siblings", siblings)
+	}
+	spec.Store.Dir = b.TempDir()
+	if _, err := sweep.Run(context.Background(), spec, sweep.Func(func(sweep.Row) error { return nil })); err != nil {
+		b.Fatal(err)
+	}
+	spec.SimBatch = simBatch
+	// One worker: the measurement is serial simulate throughput, the thing
+	// batching changes, not scheduling luck on a small grid.
+	spec.Workers = 1
+	cells := 2 * 2 * siblings // clusters × benchmarks × simulate-only siblings
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := sweep.Run(context.Background(), spec, sweep.Func(func(sweep.Row) error { return nil }))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Rows != cells {
+			b.Fatalf("%d rows, want %d", st.Rows, cells)
+		}
+		if simBatch > 1 && st.SimCells != int64(cells) {
+			b.Fatalf("only %d of %d cells went through batches", st.SimCells, cells)
+		}
+	}
+	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+func BenchmarkSweepBatch1(b *testing.B) { benchmarkSweepBatch(b, 1, 8) }
+func BenchmarkSweepBatch2(b *testing.B) { benchmarkSweepBatch(b, 2, 8) }
+func BenchmarkSweepBatch4(b *testing.B) { benchmarkSweepBatch(b, 4, 8) }
+func BenchmarkSweepBatch8(b *testing.B) { benchmarkSweepBatch(b, 8, 8) }
+
+// BenchmarkSweepBatch4Off: the PR 6 baseline — the same 4-sibling grid and
+// warm store with batching off — that BenchmarkSweepBatch4 is compared to.
+func BenchmarkSweepBatch4Off(b *testing.B) { benchmarkSweepBatch(b, 4, 0) }
+
+// BenchmarkSimulateBatch isolates the batched simulate back end: one fixed
+// compiled artifact driven across 1–8 sibling lanes in a single pass.
+// allocs/op is reported because the per-lane state is set up once per batch
+// and the merged event loop must not allocate per cell: allocations grow
+// with the lane count, never with the event count.
+func BenchmarkSimulateBatch(b *testing.B) {
+	spec, _ := workload.ByName("gsmdec")
+	v := experiments.Interleaved("IPBC+AB", ivliw.IPBC, ivliw.Selective, true, true, false)
+	art, err := pipeline.Compile(v.CompileSpec(spec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Eight simulate-only siblings of the headline config: AB geometry ×
+	// MSHR depth, all sharing the artifact's compile key.
+	var cfgs []arch.Config
+	for _, entries := range []int{16, 32} {
+		for _, mshrs := range []int{0, 2, 4, 8} {
+			c := v.Cfg
+			c.ABEntries, c.MSHRs = entries, mshrs
+			cfgs = append(cfgs, c)
+		}
+	}
+	for _, lanes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				outs, err := pipeline.SimulateBatch(art, spec, cfgs[:lanes], v.Aligned)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(outs) != lanes {
+					b.Fatalf("%d lanes out, want %d", len(outs), lanes)
+				}
+			}
+			b.ReportMetric(float64(lanes*b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}

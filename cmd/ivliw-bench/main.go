@@ -16,10 +16,10 @@
 //	            [-sweep-bench gsmdec,jpegenc,mpeg2dec|all]
 //	            [-sweep-synth 4] [-sweep-seed 1]
 //	            [-sweep-heuristic IPBC] [-sweep-unroll selective]
-//	            [-compile-cache 256] [-artifact-dir DIR]
+//	            [-compile-cache 256] [-artifact-dir DIR] [-sim-batch 8]
 //	            [-shard i/n] [-out sweep.jsonl] [-spec-out run.json]
 //	ivliw-bench -spec run.json [-shard i/n] [-artifact-dir DIR]
-//	            [-out shard.jsonl]
+//	            [-sim-batch 8] [-out shard.jsonl]
 //	ivliw-bench -spec run.json -coordinate 3 [-coordinate-dir DIR]
 //	            [-coordinate-launch exec|inproc|pool] [-coordinate-attempts 3]
 //	            [-coordinate-straggler 90s] [-coordinate-backoff 250ms]
@@ -64,8 +64,11 @@
 // compiled once into the artifact store (-compile-cache memory artifacts, 0
 // disables; plus the optional -artifact-dir disk tier) and rows are written
 // to -out (default stdout) as their in-order cells complete, so memory
-// stays bounded for arbitrarily large grids. The byte stream is identical
-// for any store configuration and any -workers count.
+// stays bounded for arbitrarily large grids. -sim-batch k additionally runs
+// up to k sibling cells — same benchmark and compile key, differing only in
+// simulate-only axes like MSHR depth or Attraction Buffer geometry — as
+// lanes of one batched simulation pass. The byte stream is identical for
+// any store configuration, any -workers count, and any -sim-batch value.
 package main
 
 import (
@@ -94,6 +97,7 @@ func main() {
 	log.SetPrefix("ivliw-bench: ")
 	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, fig7, fig8, headlines or all")
 	workers := flag.Int("workers", 0, "worker pool size for the (benchmark × variant) grids (0: GOMAXPROCS)")
+	simBatch := flag.Int("sim-batch", 0, "batch up to this many sibling sweep cells (same compile key) into one simulation pass (0: off; output is identical either way)")
 	sweepMode := flag.Bool("sweep", false, "run the design-space sweep instead of -exp and emit JSON rows")
 	sweepClusters := flag.String("sweep-clusters", "2,4,8", "sweep axis: cluster counts")
 	sweepInterleave := flag.String("sweep-interleave", "4", "sweep axis: interleaving factors in bytes")
@@ -141,6 +145,9 @@ func main() {
 	}
 	if *workers < 0 {
 		usageErr("-workers must be >= 0, got %d", *workers)
+	}
+	if *simBatch < 0 {
+		usageErr("-sim-batch must be >= 0, got %d", *simBatch)
 	}
 	if *compileCache < 0 {
 		usageErr("-compile-cache must be >= 0, got %d", *compileCache)
@@ -219,6 +226,9 @@ func main() {
 			if set["workers"] {
 				spec.Workers = *workers
 			}
+			if set["sim-batch"] {
+				spec.SimBatch = *simBatch
+			}
 			if set["compile-cache"] {
 				spec.Store.Memory = memoryCapacity(*compileCache)
 			}
@@ -252,6 +262,7 @@ func main() {
 				heuristic:    *sweepHeuristic,
 				unroll:       *sweepUnroll,
 				workers:      *workers,
+				simBatch:     *simBatch,
 				compileCache: *compileCache,
 				artifactDir:  *artifactDir,
 				shard:        shard,
@@ -369,6 +380,7 @@ func main() {
 	for _, name := range sortedNames(set) {
 		sweepOnly := name == "shard" || name == "artifact-dir" || name == "out" ||
 			name == "compile-cache" || name == "heartbeat" || name == "heartbeat-interval" ||
+			name == "sim-batch" ||
 			strings.HasPrefix(name, "sweep-") ||
 			strings.HasPrefix(name, "coordinate") || strings.HasPrefix(name, "pool-")
 		if sweepOnly {
@@ -539,6 +551,7 @@ type sweepOptions struct {
 	seed                                                  uint64
 	heuristic, unroll                                     string
 	workers                                               int
+	simBatch                                              int
 	compileCache                                          int
 	cacheSet                                              bool // -compile-cache explicitly set
 	artifactDir                                           string
@@ -571,10 +584,11 @@ func memoryCapacity(flag int) int {
 // a flag invocation and its captured spec file are byte-identical runs.
 func specFromFlags(o sweepOptions) (sweep.Spec, error) {
 	spec := sweep.Spec{
-		Workers: o.workers,
-		Shard:   o.shard,
-		Store:   sweep.Store{Dir: o.artifactDir},
-		Output:  sweep.Output{Path: o.out},
+		Workers:  o.workers,
+		SimBatch: o.simBatch,
+		Shard:    o.shard,
+		Store:    sweep.Store{Dir: o.artifactDir},
+		Output:   sweep.Output{Path: o.out},
 	}
 	if o.cacheSet {
 		// Only an explicit -compile-cache is baked into the spec; leaving
@@ -673,6 +687,10 @@ func runSweep(ctx context.Context, spec sweep.Spec) error {
 		return err
 	}
 	log.Printf("compile cache: %d hits, %d misses, %d evictions", st.MemHits, st.MemMisses, st.MemEvictions)
+	if st.SimBatches > 0 {
+		log.Printf("sim batches: %d cells in %d batches (mean lane width %.2f)",
+			st.SimCells, st.SimBatches, float64(st.SimCells)/float64(st.SimBatches))
+	}
 	if spec.Store.Dir != "" {
 		log.Printf("artifact store %s: %d hits, %d compiles, %d writes, %d write errors",
 			spec.Store.Dir, st.DiskHits, st.DiskMisses, st.DiskWrites, st.DiskWriteErrors)

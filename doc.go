@@ -164,6 +164,35 @@
 // the same two stages per loop, with artifacts cached by content inside
 // the Program.
 //
+// # Batched simulation
+//
+// Sweep grids are dominated by cells that differ only in simulate-only
+// axes — MSHR depth, memory buses, next-level ports, Attraction Buffer
+// geometry while hints are off — and those siblings share an identical
+// compiled artifact, an identical execution layout, and therefore an
+// identical stream of merge events. Spec.SimBatch (CLI: -sim-batch) caps
+// how many sibling cells are evaluated together in one simulation pass:
+// the k-way event merge, the memory-info lookups and the address → (home
+// cluster, cache block) decomposition run once per event, while each
+// sibling keeps its own cache hierarchy, bus model and statistics as a
+// structure-of-arrays lane (pipeline.SimulateBatch over sim.RunLoopBatch).
+// Simulating k siblings costs one shared front half plus k per-lane back
+// halves instead of k full passes.
+//
+// Batching is planned inside each shard's row range: cells group by
+// benchmark and compile key (pipeline.SimKey), never across shard
+// boundaries, so shard outputs still concatenate byte-identically. Rows
+// flow through the same reorder window in grid order and every row's
+// bytes are identical with batching on or off — the per-lane simulation
+// is exactly the serial simulation, only the event iteration is shared
+// (gated by scripts/ci.sh step 9, including the coordinator pool path;
+// the -sim-batch flag travels to pool workers through the shared base
+// spec). A batch that fails as a whole falls back to simulating its
+// lanes serially, so one infeasible sibling cannot smear an error over
+// the others. Run stats record the economy as SimCells/SimBatches (mean
+// lane width); BENCH_7.json snapshots the measured cells/s scaling curve
+// over 1/2/4/8 sibling lanes.
+//
 // # Performance architecture
 //
 // The two hot paths — the compile-side recurrence-II search and the

@@ -215,13 +215,20 @@ func (ic *Interleaved) subblockKey(addr int64, home int) int64 {
 
 // Access classifies and applies one access.
 func (ic *Interleaved) Access(cluster int, addr int64, store, attract bool) Result {
-	home := ic.cfg.HomeCluster(addr)
+	return ic.AccessBlock(cluster, ic.block(addr), ic.cfg.HomeCluster(addr), store, attract)
+}
+
+// AccessBlock is Access with the address pre-resolved to its block number
+// and home cluster. The batched simulator derives both once per merge event
+// (they are lane-invariant) and fans them across lanes, so the per-lane work
+// carries no address divisions.
+func (ic *Interleaved) AccessBlock(cluster int, blk int64, home int, store, attract bool) Result {
 	local := home == cluster
 
 	// The Attraction Buffer is checked in parallel with the local module;
 	// a hit there is satisfied with the local hit latency.
 	if !local && ic.abs != nil {
-		key := ic.subblockKey(addr, home)
+		key := blk | int64(home)<<40
 		if store {
 			// A store to a remote word updates the owner module;
 			// keep any local replica coherent by updating it in
@@ -232,13 +239,13 @@ func (ic *Interleaved) Access(cluster int, addr int64, store, attract bool) Resu
 		}
 	}
 
-	hit := ic.blocks.Lookup(ic.block(addr))
+	hit := ic.blocks.Lookup(blk)
 	if !hit {
-		ic.blocks.Fill(ic.block(addr))
+		ic.blocks.Fill(blk)
 	}
 	if !local && !store && ic.abs != nil && attract {
 		// The whole subblock is attracted to the issuing cluster.
-		ic.abs[cluster].Fill(ic.subblockKey(addr, home))
+		ic.abs[cluster].Fill(blk | int64(home)<<40)
 	}
 	switch {
 	case local && hit:
@@ -298,7 +305,13 @@ func NewMultiVLIW(cfg arch.Config) (*MultiVLIWCache, error) {
 
 // Access classifies and applies one access.
 func (mc *MultiVLIWCache) Access(cluster int, addr int64, store, attract bool) Result {
-	blk := addr / int64(mc.cfg.BlockBytes)
+	return mc.AccessBlock(cluster, addr/int64(mc.cfg.BlockBytes), store)
+}
+
+// AccessBlock is Access with the address pre-resolved to its block number
+// (see Interleaved.AccessBlock); the snoopy protocol never needs the home
+// cluster or the attract hint.
+func (mc *MultiVLIWCache) AccessBlock(cluster int, blk int64, store bool) Result {
 	if store {
 		// Write-invalidate: kill every other copy, write locally
 		// (write-allocate).
@@ -352,7 +365,12 @@ func NewUnified(cfg arch.Config) (*UnifiedCache, error) {
 // and misses as local misses; the simulator maps them to the unified hit and
 // miss latencies.
 func (uc *UnifiedCache) Access(cluster int, addr int64, store, attract bool) Result {
-	blk := addr / int64(uc.cfg.BlockBytes)
+	return uc.AccessBlock(addr / int64(uc.cfg.BlockBytes))
+}
+
+// AccessBlock is Access with the address pre-resolved to its block number
+// (see Interleaved.AccessBlock); the unified cache ignores everything else.
+func (uc *UnifiedCache) AccessBlock(blk int64) Result {
 	if uc.blocks.Lookup(blk) {
 		return Result{Class: arch.LocalHit, Home: -1}
 	}

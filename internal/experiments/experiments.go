@@ -110,6 +110,62 @@ func RunBenchStore(spec workload.BenchSpec, v Variant, st pipeline.Store) (stats
 	return pipeline.Simulate(art, spec, v.Cfg, v.Aligned)
 }
 
+// RunBenchBatchStore is RunBenchStore over a batch of sibling variants: one
+// artifact lookup and one batched simulation pass (pipeline.SimulateBatch)
+// serve every lane, so k variants differing only in simulate-only axes cost
+// roughly one cell's event traffic. The caller groups lanes by
+// Variant.CompileKey (which subsumes pipeline.SimKey — it adds only the
+// compiler options, which are compile-stage inputs). Errors are per lane,
+// with exactly the serial RunBenchStore text: an invalid lane fails alone
+// while its siblings simulate, and any batch-level failure falls back to
+// the serial path so per-lane error strings never change shape.
+func RunBenchBatchStore(spec workload.BenchSpec, vs []Variant, st pipeline.Store) ([]stats.Bench, []error) {
+	outs := make([]stats.Bench, len(vs))
+	errs := make([]error, len(vs))
+	for l := range outs {
+		outs[l] = stats.Bench{Name: spec.Name}
+	}
+	// Validate each full configuration up front, exactly like the serial
+	// path: a lane invalid only in simulate-only axes drops out of the
+	// batch with its own error, independent of its siblings.
+	live := make([]int, 0, len(vs))
+	for l, v := range vs {
+		if err := v.Cfg.Validate(); err != nil {
+			errs[l] = fmt.Errorf("experiments: %s/%s: %w", spec.Name, v.Label, err)
+			continue
+		}
+		live = append(live, l)
+	}
+	if len(live) == 0 {
+		return outs, errs
+	}
+	art, err := pipeline.Lookup(st, vs[live[0]].CompileSpec(spec))
+	if err != nil {
+		for _, l := range live {
+			errs[l] = fmt.Errorf("experiments: %s: %w", vs[l].Label, err)
+		}
+		return outs, errs
+	}
+	cfgs := make([]arch.Config, len(live))
+	for j, l := range live {
+		cfgs[j] = vs[l].Cfg
+	}
+	ress, err := pipeline.SimulateBatch(art, spec, cfgs, vs[live[0]].Aligned)
+	if err != nil {
+		// The batch as a whole failed (mismatched grouping, artifact shape):
+		// re-run each lane serially so every lane reports the identical
+		// error it would have seen without batching.
+		for _, l := range live {
+			outs[l], errs[l] = pipeline.Simulate(art, spec, vs[l].Cfg, vs[l].Aligned)
+		}
+		return outs, errs
+	}
+	for j, l := range live {
+		outs[l] = ress[j]
+	}
+	return outs, errs
+}
+
 // RunSuite runs every benchmark of the suite under the variant, fanning the
 // benchmarks across the worker pool.
 func RunSuite(v Variant) (map[string]stats.Bench, error) {

@@ -115,18 +115,61 @@ var figureCache = pipeline.NewCache(pipeline.DefaultCacheSize)
 // benchCells runs every (benchmark, variant) cell of the grid in parallel
 // and returns the per-benchmark result rows in suite order: cells[b][v] is
 // benchmark b under variant v. Cells resolve compilations through the
-// shared figureCache.
+// shared figureCache. Variants sharing a CompileKey (for example IBC vs
+// IBC+AB in Figures 6 and 8) are sibling lanes of one batched simulation:
+// the parallel unit is (benchmark × compile group), each evaluated through
+// RunBenchBatchStore so siblings share one event-merge pass. Results and
+// the reported error (lowest (benchmark, variant) failing cell) are
+// identical to the unbatched fan-out.
 func benchCells(suite []workload.BenchSpec, variants []Variant) ([][]stats.Bench, error) {
 	nv := len(variants)
-	flat, err := runCells(context.Background(), len(suite)*nv, 0, func(i int) (stats.Bench, error) {
-		return RunBenchStore(suite[i/nv], variants[i%nv], figureCache)
+	var groups [][]int
+	byKey := map[string]int{}
+	for v := range variants {
+		k := variants[v].CompileKey()
+		g, ok := byKey[k]
+		if !ok {
+			g = len(groups)
+			byKey[k] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], v)
+	}
+	ng := len(groups)
+	type groupRes struct {
+		benches []stats.Bench
+		errs    []error
+	}
+	flat, err := runCells(context.Background(), len(suite)*ng, 0, func(i int) (groupRes, error) {
+		b, idx := i/ng, groups[i%ng]
+		vs := make([]Variant, len(idx))
+		for j, v := range idx {
+			vs[j] = variants[v]
+		}
+		benches, errs := RunBenchBatchStore(suite[b], vs, figureCache)
+		return groupRes{benches: benches, errs: errs}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	rows := make([][]stats.Bench, len(suite))
+	firstIdx, firstErr := -1, error(nil)
 	for b := range suite {
-		rows[b] = flat[b*nv : (b+1)*nv]
+		rows[b] = make([]stats.Bench, nv)
+		for g := range groups {
+			gr := flat[b*ng+g]
+			for j, v := range groups[g] {
+				rows[b][v] = gr.benches[j]
+				if gr.errs[j] != nil {
+					if fi := b*nv + v; firstIdx < 0 || fi < firstIdx {
+						firstIdx, firstErr = fi, gr.errs[j]
+					}
+				}
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return rows, nil
 }

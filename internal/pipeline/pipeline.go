@@ -239,11 +239,41 @@ func Compile(s CompileSpec) (*Artifact, error) {
 // benchmark's execution data set under the given (full) machine
 // configuration, sharing one cache hierarchy across the benchmark's loops
 // exactly like the monolithic path did. The artifact is read-only; cfg may
-// differ from the compiling configuration in simulate-only axes.
+// differ from the compiling configuration in simulate-only axes. Simulate
+// is SimulateBatch with one lane.
 func Simulate(a *Artifact, bench workload.BenchSpec, cfg arch.Config, aligned bool) (stats.Bench, error) {
-	out := stats.Bench{Name: bench.Name}
+	outs, err := SimulateBatch(a, bench, []arch.Config{cfg}, aligned)
+	return outs[0], err
+}
+
+// SimKey returns the grouping key under which machine configurations may
+// share one batched simulation of an artifact: the compile key (which
+// covers every layout-relevant field — the execution address layout depends
+// on the configuration only through Clusters×Interleave) plus the alignment
+// policy. Cells with equal SimKey and equal artifact differ only in
+// simulate-only state and are batchable through SimulateBatch.
+func SimKey(cfg arch.Config, aligned bool) string {
+	return fmt.Sprintf("%s|al%t", cfg.CompileKey(), aligned)
+}
+
+// SimulateBatch runs stage 2 once for a batch of sibling configurations:
+// one shared pass over each loop's access stream (event merge, address
+// generation) drives per-lane machine state, so k cells that differ only in
+// simulate-only axes cost roughly one simulation's worth of event traffic.
+// Every lane must share SimKey (equivalently: the artifact's CompileKey);
+// a mismatched lane fails the whole batch. On error the returned slice
+// still has one (named, possibly partial) entry per lane, so batch-of-1
+// wrappers can unwrap it unconditionally.
+func SimulateBatch(a *Artifact, bench workload.BenchSpec, cfgs []arch.Config, aligned bool) ([]stats.Bench, error) {
+	outs := make([]stats.Bench, len(cfgs))
+	for l := range outs {
+		outs[l] = stats.Bench{Name: bench.Name}
+	}
+	if len(cfgs) == 0 {
+		return outs, nil
+	}
 	if len(a.Loops) != len(bench.Loops) {
-		return out, fmt.Errorf("pipeline: artifact %s has %d loops, benchmark %s has %d",
+		return outs, fmt.Errorf("pipeline: artifact %s has %d loops, benchmark %s has %d",
 			a.Bench, len(a.Loops), bench.Name, len(bench.Loops))
 	}
 	for i := range a.Loops {
@@ -251,21 +281,34 @@ func Simulate(a *Artifact, bench workload.BenchSpec, cfg arch.Config, aligned bo
 		// built against it, so the execution layout must match or every
 		// latency class silently skews.
 		if a.Loops[i].Aligned != aligned {
-			return out, fmt.Errorf("pipeline: artifact %s was compiled with aligned=%t, simulated with %t",
+			return outs, fmt.Errorf("pipeline: artifact %s was compiled with aligned=%t, simulated with %t",
 				a.Bench, a.Loops[i].Aligned, aligned)
 		}
 	}
-	hier, err := cache.New(cfg)
-	if err != nil {
-		return out, fmt.Errorf("pipeline: %s: %w", bench.Name, err)
+	key := SimKey(cfgs[0], aligned)
+	for l := 1; l < len(cfgs); l++ {
+		if SimKey(cfgs[l], aligned) != key {
+			return outs, fmt.Errorf("pipeline: %s: batch lane %d sim key %q differs from lane 0 %q",
+				bench.Name, l, SimKey(cfgs[l], aligned), key)
+		}
+	}
+	hiers := make([]cache.Hierarchy, len(cfgs))
+	for l := range cfgs {
+		h, err := cache.New(cfgs[l])
+		if err != nil {
+			return outs, fmt.Errorf("pipeline: %s: %w", bench.Name, err)
+		}
+		hiers[l] = h
 	}
 	execDS := addrspace.Dataset{Seed: bench.ExecSeed, Aligned: aligned}
-	execLay := addrspace.NewLayout(bench.AllLoops(), cfg, execDS)
+	execLay := addrspace.NewLayout(bench.AllLoops(), cfgs[0], execDS)
 	for i := range bench.Loops {
 		la := &a.Loops[i]
-		res := sim.RunLoop(la.Schedule, execLay, execDS, cfg, hier, la.Iters, la.Meta())
-		res.Scale(bench.Loops[i].Invocations)
-		out.Loops = append(out.Loops, res)
+		ress := sim.RunLoopBatch(la.Schedule, execLay, execDS, cfgs, hiers, la.Iters, la.Meta())
+		for l := range ress {
+			ress[l].Scale(bench.Loops[i].Invocations)
+			outs[l].Loops = append(outs[l].Loops, ress[l])
+		}
 	}
-	return out, nil
+	return outs, nil
 }

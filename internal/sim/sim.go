@@ -15,15 +15,29 @@
 //   - Attraction Buffer allocation controlled by per-instruction
 //     "attractable" hints (§5.2);
 //   - stall-cause attribution for the Figure 5 factor classification.
+//
+// The simulator is batched: RunLoopBatch drives one schedule against k
+// sibling configurations that share the compile-relevant machine layout but
+// may differ in simulate-only axes (buses, next-level ports, MSHR depth,
+// Attraction Buffer geometry). The event merge, address generation and
+// stall-cause classification run once per access; only the per-lane machine
+// state (stall shift, bus/port pools, combining table, MSHR pool, cache
+// hierarchy) fans out, held as parallel arrays indexed by lane. RunLoop is
+// the batch-of-1 wrapper.
 package sim
 
 import (
+	"math/bits"
+
 	"ivliw/internal/addrspace"
 	"ivliw/internal/arch"
 	"ivliw/internal/cache"
 	"ivliw/internal/sched"
 	"ivliw/internal/stats"
 )
+
+// isPow2 reports whether x is a positive power of two.
+func isPow2(x int) bool { return x > 0 && x&(x-1) == 0 }
 
 // Meta carries the compiler-side annotations the simulator needs for stall
 // attribution and Attraction Buffer hints.
@@ -47,33 +61,55 @@ const unclearThreshold = 0.75
 // hierarchy and returns the loop measurement (unscaled: Invocations is 1).
 // The hierarchy keeps its state so consecutive loops of a benchmark share
 // the L1 contents; Attraction Buffers are flushed on return (the coherence
-// rule for buffers between loops).
+// rule for buffers between loops). RunLoop is RunLoopBatch with one lane.
 func RunLoop(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
 	cfg arch.Config, hier cache.Hierarchy, iters int64, meta Meta) stats.Loop {
+	return RunLoopBatch(s, lay, ds, []arch.Config{cfg}, []cache.Hierarchy{hier}, iters, meta)[0]
+}
 
-	out := stats.Loop{
-		Name:        s.Loop.Name,
-		II:          s.II,
-		SC:          s.SC,
-		MII:         s.MII,
-		Copies:      len(s.Copies),
-		Balance:     s.WorkloadBalance(cfg.Clusters),
-		BodyInstrs:  len(s.Loop.Instrs),
-		Iters:       iters,
-		Invocations: 1,
+// RunLoopBatch simulates the schedule once per configuration lane, sharing
+// one pass over the access stream. All lanes must agree on the
+// compile-relevant subset of the configuration (arch.Config.CompileKey):
+// the shared front half — event merge order, generated addresses, home
+// clusters, subblock keys, granularity spans, attraction hints and
+// stall-cause classification — is computed from cfgs[0] and is only valid
+// for every lane under that contract. len(hiers) must equal len(cfgs), one
+// hierarchy per lane (lanes may not share tag state: an Attraction Buffer
+// hit returns without touching the backing blocks, so per-lane AB geometry
+// makes tag contents diverge). Callers enforce the contract by grouping on
+// CompileKey (see pipeline.SimKey).
+func RunLoopBatch(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
+	cfgs []arch.Config, hiers []cache.Hierarchy, iters int64, meta Meta) []stats.Loop {
+
+	outs := make([]stats.Loop, len(cfgs))
+	for l := range cfgs {
+		outs[l] = stats.Loop{
+			Name:        s.Loop.Name,
+			II:          s.II,
+			SC:          s.SC,
+			MII:         s.MII,
+			Copies:      len(s.Copies),
+			Balance:     s.WorkloadBalance(cfgs[l].Clusters),
+			BodyInstrs:  len(s.Loop.Instrs),
+			Iters:       iters,
+			Invocations: 1,
+		}
 	}
-	defer hier.FlushBuffers()
+	defer func() {
+		for _, h := range hiers {
+			h.FlushBuffers()
+		}
+	}()
 
 	mems := s.Loop.MemInstrs()
 	if len(mems) > 0 && iters > 0 {
-		runAccesses(s, lay, ds, cfg, hier, iters, meta, &out, mems)
+		runAccesses(s, lay, ds, cfgs, hiers, iters, meta, outs, mems)
 	}
-	out.ComputeCycles = int64(s.II) * (iters + int64(s.SC) - 1)
-	return out
-}
-
-type mshr struct {
-	completion int64
+	cc := int64(s.II) * (iters + int64(s.SC) - 1)
+	for l := range outs {
+		outs[l].ComputeCycles = cc
+	}
+	return outs
 }
 
 // memInfo is the per-memory-instruction static information of one run.
@@ -87,9 +123,35 @@ type memInfo struct {
 	hasCons   bool
 }
 
+// lane is one configuration's machine state in a batched run: everything
+// that evolves with simulated time, parallel-array style so a merge event
+// fans across lanes with no per-event allocation.
+type lane struct {
+	stalled  int64
+	busFree  []int64
+	portFree []int64
+	pending  pendingSet
+	fills    *mshrPool // bounded fill slots; nil when MSHRs = 0 (unbounded)
+	lats     [arch.NumLatencyClasses]int
+	busHold  int64
+	uhit     int64 // unified-org hit/miss latencies
+	umiss    int64
+	mvliw    bool // per-lane org split is forbidden by the compile
+	unified  bool // key, but deriving per lane keeps lanes self-contained
+}
+
+// testPendingPeak, when non-nil, receives each lane's peak combining-map
+// size after a batched run — the hook for the bounded-memory regression
+// test. Never set outside tests.
+var testPendingPeak func(lane int, peak int)
+
 func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
-	cfg arch.Config, hier cache.Hierarchy, iters int64, meta Meta,
-	out *stats.Loop, mems []int) {
+	cfgs []arch.Config, hiers []cache.Hierarchy, iters int64, meta Meta,
+	outs []stats.Loop, mems []int) {
+
+	// cfg drives the shared front half; every field it reads below is
+	// compile-key-covered and therefore identical across lanes.
+	cfg := cfgs[0]
 
 	infos := make([]memInfo, 0, len(mems))
 	for _, id := range mems {
@@ -124,59 +186,113 @@ func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
 	ii := int64(s.II)
 	merge := newEventMerge(infos, iters, ii)
 
-	interleaved := cfg.Org == arch.Interleaved
-	lats := cfg.MemLatencies()
-	busFree := make([]int64, cfg.MemBuses)
-	portFree := make([]int64, cfg.NextLevelPorts)
-	pending := map[int64]mshr{} // subblock key -> outstanding request
-	var fills *mshrPool         // bounded fill slots; nil when MSHRs = 0 (unbounded)
-	if interleaved && cfg.MSHRs > 0 {
-		fills = &mshrPool{cap: cfg.MSHRs}
+	// Power-of-two geometry (the paper's machines and every default) turns
+	// the per-event home-cluster and block divisions into shifts; the
+	// general path stays for odd geometries and negative addresses.
+	fastGeom := isPow2(cfg.Interleave) && isPow2(cfg.Clusters) && isPow2(cfg.BlockBytes)
+	var iShift, bShift uint
+	var cMask int64
+	if fastGeom {
+		iShift = uint(bits.TrailingZeros64(uint64(cfg.Interleave)))
+		bShift = uint(bits.TrailingZeros64(uint64(cfg.BlockBytes)))
+		cMask = int64(cfg.Clusters - 1)
 	}
 
-	// acquire models queuing on a resource pool: the transfer starts when
-	// the earliest-free unit is available and holds it for `hold` cycles.
-	acquire := func(pool []int64, at int64, hold int64) int64 {
-		best := 0
-		for i := 1; i < len(pool); i++ {
-			if pool[i] < pool[best] {
-				best = i
+	interleaved := cfg.Org == arch.Interleaved
+	lanes := make([]lane, len(cfgs))
+	// Each lane's hierarchy is driven through its block-resolved entry point
+	// when the concrete type offers one: the block number and home cluster
+	// are lane-invariant, so the front half derives them once per event and
+	// the per-lane access carries no address divisions. Unknown Hierarchy
+	// implementations fall back to the address-based interface method.
+	access := make([]func(cluster int, addr, blk int64, home int, store, attract bool) cache.Result, len(cfgs))
+	for l := range cfgs {
+		c := cfgs[l]
+		lanes[l] = lane{
+			busFree:  make([]int64, c.MemBuses),
+			portFree: make([]int64, c.NextLevelPorts),
+			lats:     c.MemLatencies(),
+			busHold:  int64(c.BusCycleRatio),
+			uhit:     int64(c.UnifiedHitLatency()),
+			umiss:    int64(c.UnifiedMissLatency()),
+			mvliw:    c.Org == arch.MultiVLIW,
+			unified:  c.Org == arch.Unified,
+		}
+		if interleaved {
+			lanes[l].pending.init()
+		}
+		if interleaved && c.MSHRs > 0 {
+			lanes[l].fills = &mshrPool{cap: c.MSHRs}
+		}
+		switch h := hiers[l].(type) {
+		case *cache.Interleaved:
+			access[l] = func(cluster int, _, blk int64, home int, store, attract bool) cache.Result {
+				return h.AccessBlock(cluster, blk, home, store, attract)
+			}
+		case *cache.MultiVLIWCache:
+			access[l] = func(cluster int, _, blk int64, _ int, store, _ bool) cache.Result {
+				return h.AccessBlock(cluster, blk, store)
+			}
+		case *cache.UnifiedCache:
+			access[l] = func(_ int, _, blk int64, _ int, _, _ bool) cache.Result {
+				return h.AccessBlock(blk)
+			}
+		default:
+			access[l] = func(cluster int, addr, _ int64, _ int, store, attract bool) cache.Result {
+				return h.Access(cluster, addr, store, attract)
 			}
 		}
-		start := at
-		if pool[best] > start {
-			start = pool[best]
-		}
-		pool[best] = start + hold
-		return start - at
 	}
 
-	busHold := int64(cfg.BusCycleRatio)
+	// Stall causes depend only on the (static) instruction and its
+	// placement, never on simulated time or lane state, so the Figure 5
+	// classification is computed at most once per instruction and shared
+	// by every lane's remote hits.
+	causes := make([][]stats.Cause, len(infos))
+	causesDone := make([]bool, len(infos))
+
 	// Lock-step execution: accumulated stall delays every later issue, so
 	// oversubscribed buses throttle the machine instead of building
 	// unbounded queues.
-	stalled := int64(0)
-	{
-		for ev, ok := merge.next(); ok; ev, ok = merge.next() {
-			mi, i := ev.mi, ev.iter
-			in := s.Loop.Instrs[mi.id]
-			t := ev.t + stalled
-			addr := lay.Addr(in, i, ds)
-			home := cfg.HomeCluster(addr)
+	for ev, ok := merge.next(); ok; ev, ok = merge.next() {
+		mi, i := ev.mi, ev.iter
+		in := s.Loop.Instrs[mi.id]
+		// Shared front half: the pre-stall issue time, the generated
+		// address and everything derived from compile-key geometry are
+		// lane-invariant (addresses depend on the iteration index, not
+		// the stalled clock).
+		addr := lay.Addr(in, i, ds)
+		var home int
+		var blk int64
+		if fastGeom && addr >= 0 {
+			home = int((addr >> iShift) & cMask)
+			blk = addr >> bShift
+		} else {
+			home = cfg.HomeCluster(addr)
+			blk = addr / int64(cfg.BlockBytes)
+		}
+		granSpan := in.Mem.Gran > cfg.Interleave
+		var sbKey int64
+		if interleaved {
+			sbKey = blk*int64(cfg.Clusters) + int64(home)
+		}
+
+		for l := range lanes {
+			ln := &lanes[l]
+			out := &outs[l]
+			t := ev.t + ln.stalled
 
 			var class stats.Class
 			var actual int64
 
 			// Combining: a second request to a subblock with an
 			// outstanding fill is not issued (interleaved only).
-			var sbKey int64
 			if interleaved {
-				sbKey = (addr/int64(cfg.BlockBytes))*int64(cfg.Clusters) + int64(home)
-				if p, ok := pending[sbKey]; ok && t < p.completion {
+				if completion, ok := ln.pending.lookup(sbKey, t); ok {
 					class = stats.Combined
-					actual = p.completion - t
+					actual = completion - t
 					out.Accesses[class]++
-					stalled += stallAndAttribute(out, mi.tolerance, mi.hasCons, actual, class, nil)
+					ln.stalled += stallAndAttribute(out, mi.tolerance, mi.hasCons, actual, class, nil)
 					continue
 				}
 			}
@@ -185,8 +301,8 @@ func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
 			// (anything that leaves a request outstanding) waits until a
 			// slot frees; the wait delays the whole access.
 			var mshrWait int64
-			r := hier.Access(mi.cluster, addr, mi.store, mi.attract)
-			if interleaved && in.Mem.Gran > cfg.Interleave {
+			r := access[l](mi.cluster, addr, blk, home, mi.store, mi.attract)
+			if interleaved && granSpan {
 				// An element bigger than the interleaving factor
 				// always spans more than one cluster: the access
 				// can never be fully local (§5.2, mpeg2dec).
@@ -197,53 +313,132 @@ func runAccesses(s *sched.Schedule, lay *addrspace.Layout, ds addrspace.Dataset,
 					r.Class = arch.RemoteMiss
 				}
 			}
-			if fills != nil && r.Class != arch.LocalHit {
-				mshrWait = fills.reserve(t)
+			if ln.fills != nil && r.Class != arch.LocalHit {
+				mshrWait = ln.fills.reserve(t)
 				t += mshrWait
 			}
-			switch cfg.Org {
-			case arch.Unified:
+			switch {
+			case ln.unified:
 				if r.Class == arch.LocalHit {
-					class, actual = stats.LHit, int64(cfg.UnifiedHitLatency())
+					class, actual = stats.LHit, ln.uhit
 				} else {
-					class, actual = stats.LMiss, int64(cfg.UnifiedMissLatency())
-					actual += acquire(portFree, t, busHold)
+					class, actual = stats.LMiss, ln.umiss
+					actual += acquire(ln.portFree, t, ln.busHold)
 				}
 			default:
-				if cfg.Org == arch.MultiVLIW && mi.store {
+				if ln.mvliw && mi.store {
 					// Write-invalidate: every store broadcasts a
 					// snoop on the memory buses.
-					acquire(busFree, t, busHold)
+					acquire(ln.busFree, t, ln.busHold)
 				}
 				switch r.Class {
 				case arch.LocalHit:
-					class, actual = stats.LHit, int64(lats[arch.LocalHit])
+					class, actual = stats.LHit, int64(ln.lats[arch.LocalHit])
 				case arch.RemoteHit:
-					class, actual = stats.RHit, int64(lats[arch.RemoteHit])
-					actual += acquire(busFree, t, busHold)                // request
-					actual += acquire(busFree, t+actual-busHold, busHold) // reply
+					class, actual = stats.RHit, int64(ln.lats[arch.RemoteHit])
+					actual += acquire(ln.busFree, t, ln.busHold)                   // request
+					actual += acquire(ln.busFree, t+actual-ln.busHold, ln.busHold) // reply
 				case arch.LocalMiss:
-					class, actual = stats.LMiss, int64(lats[arch.LocalMiss])
-					actual += acquire(portFree, t, busHold)
+					class, actual = stats.LMiss, int64(ln.lats[arch.LocalMiss])
+					actual += acquire(ln.portFree, t, ln.busHold)
 				case arch.RemoteMiss:
-					class, actual = stats.RMiss, int64(lats[arch.RemoteMiss])
-					actual += acquire(busFree, t, busHold)
-					actual += acquire(portFree, t+busHold, busHold)
+					class, actual = stats.RMiss, int64(ln.lats[arch.RemoteMiss])
+					actual += acquire(ln.busFree, t, ln.busHold)
+					actual += acquire(ln.portFree, t+ln.busHold, ln.busHold)
 				}
 				if interleaved && class != stats.LHit {
-					pending[sbKey] = mshr{completion: t + actual}
-					if fills != nil {
-						fills.add(t + actual)
+					ln.pending.set(sbKey, t+actual)
+					if ln.fills != nil {
+						ln.fills.add(t + actual)
 					}
 				}
 			}
 			out.Accesses[class]++
-			var causes []stats.Cause
+			var cs []stats.Cause
 			if class == stats.RHit {
-				causes = rhCauses(s, cfg, meta, mi.id, mi.cluster)
+				if !causesDone[ev.k] {
+					causes[ev.k] = rhCauses(s, cfg, meta, mi.id, mi.cluster)
+					causesDone[ev.k] = true
+				}
+				cs = causes[ev.k]
 			}
-			stalled += stallAndAttribute(out, mi.tolerance, mi.hasCons, actual+mshrWait, class, causes)
+			ln.stalled += stallAndAttribute(out, mi.tolerance, mi.hasCons, actual+mshrWait, class, cs)
 		}
+	}
+
+	if testPendingPeak != nil {
+		for l := range lanes {
+			testPendingPeak(l, lanes[l].pending.peak)
+		}
+	}
+}
+
+// acquire models queuing on a resource pool: the transfer starts when the
+// earliest-free unit is available and holds it for `hold` cycles.
+func acquire(pool []int64, at int64, hold int64) int64 {
+	best := 0
+	for i := 1; i < len(pool); i++ {
+		if pool[i] < pool[best] {
+			best = i
+		}
+	}
+	start := at
+	if pool[best] > start {
+		start = pool[best]
+	}
+	pool[best] = start + hold
+	return start - at
+}
+
+// pendingSet is the interleaved-org combining table: subblock key →
+// outstanding fill completion. Lookup times are monotone (pre-stall issue
+// order plus a nondecreasing stall shift), so entries whose completion has
+// passed can never combine again and are swap-removed as each lookup scans —
+// the table stays proportional to the number of *outstanding* fills instead
+// of every subblock the run ever touched. At that size (tens of entries,
+// bounded by latency over II) a flat linearly-scanned slice beats a hash
+// map: no hashing, no tombstones, one cache line most of the time.
+type pendingSet struct {
+	entries []pendEntry
+	peak    int // high-water size, for the bounded-memory regression test
+}
+
+// pendEntry is one (completion, key) outstanding fill.
+type pendEntry struct {
+	completion int64
+	key        int64
+}
+
+func (p *pendingSet) init() {}
+
+// lookup prunes entries expired at t, then reports the live completion for
+// key, if any (ok only when t < completion — the combining condition). Keys
+// are unique: set is only reached after a failed lookup at the same t, which
+// has already removed any expired entry for the key.
+func (p *pendingSet) lookup(key, t int64) (int64, bool) {
+	es := p.entries
+	for i := 0; i < len(es); {
+		e := es[i]
+		if e.completion <= t {
+			es[i] = es[len(es)-1]
+			es = es[:len(es)-1]
+			continue
+		}
+		if e.key == key {
+			p.entries = es
+			return e.completion, true
+		}
+		i++
+	}
+	p.entries = es
+	return 0, false
+}
+
+// set records an outstanding fill for key completing at the given cycle.
+func (p *pendingSet) set(key, completion int64) {
+	p.entries = append(p.entries, pendEntry{completion: completion, key: key})
+	if len(p.entries) > p.peak {
+		p.peak = len(p.entries)
 	}
 }
 
@@ -252,6 +447,7 @@ type mergeEvent struct {
 	mi   *memInfo
 	iter int64
 	t    int64 // issue time before stall shifts
+	k    int   // index into the merge's infos (for per-instruction memos)
 }
 
 // eventMerge streams the accesses of a run in (t, iter, id) order by k-way
@@ -302,7 +498,7 @@ func (m *eventMerge) next() (mergeEvent, bool) {
 		return mergeEvent{}, false
 	}
 	head := m.heap[0]
-	ev := mergeEvent{mi: &m.infos[head.k], iter: head.iter, t: head.t}
+	ev := mergeEvent{mi: &m.infos[head.k], iter: head.iter, t: head.t, k: head.k}
 	if head.iter+1 < m.iters {
 		m.heap[0] = mergeHead{t: head.t + m.ii, iter: head.iter + 1, k: head.k}
 	} else {

@@ -32,6 +32,12 @@
 #      stale-heartbeat monitor, far before a straggler deadline would fire)
 #      — and the run snapshot (pool overhead vs plain exec, stale vs
 #      straggler detection latency) is written to BENCH_6.json
+#   9. batched simulation: `-sim-batch 8` (sibling cells sharing one
+#      event-merge pass) must emit bytes identical to the batch-off
+#      reference — serial, parallel, and through the coordinator's worker
+#      pool — and must actually engage (the "sim batches:" stderr line);
+#      the BenchmarkSweepBatch1/2/4/8 scaling curve (plus the batch-off
+#      4-sibling baseline) is written to BENCH_7.json
 #
 # Usage: scripts/ci.sh
 # To refresh the golden transcript after an *intentional* output change:
@@ -42,16 +48,16 @@ cd "$(dirname "$0")/.."
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== 1/8 go build ./... =="
+echo "== 1/9 go build ./... =="
 go build ./...
 
-echo "== 2/8 go vet ./... =="
+echo "== 2/9 go vet ./... =="
 go vet ./...
 
-echo "== 3/8 go test -race ./... =="
+echo "== 3/9 go test -race ./... =="
 go test -race ./...
 
-echo "== 4/8 paper-output byte identity (ivliw-bench -exp all) =="
+echo "== 4/9 paper-output byte identity (ivliw-bench -exp all) =="
 go build -o "$tmp/ivliw-bench" ./cmd/ivliw-bench
 "$tmp/ivliw-bench" -exp all > "$tmp/exp_all.txt"
 if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
@@ -61,7 +67,7 @@ if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
 fi
 echo "byte-identical"
 
-echo "== 5/8 sweep determinism across workers and compile cache =="
+echo "== 5/9 sweep determinism across workers and compile cache =="
 # run_sweep keeps stderr (cache-stats noise, but also any crash) in a log
 # that is replayed if the invocation fails.
 run_sweep() { # out_file, args...
@@ -101,7 +107,7 @@ if [ "$rows" -lt 12 ]; then
 fi
 echo "deterministic ($rows rows; workers 1/8 × cache on/off × stdout/-out)"
 
-echo "== 6/8 declarative specs, sharding and the disk artifact store =="
+echo "== 6/9 declarative specs, sharding and the disk artifact store =="
 # Capture the default flag grid as a spec file; running the file must be
 # byte-identical to the cache-disabled reference of step 5.
 "$tmp/ivliw-bench" -sweep -spec-out "$tmp/spec.json"
@@ -149,7 +155,7 @@ for bad in "3/3" "-1/3" "x/3" "1x3" "0/0"; do
 done
 echo "spec/shard/store byte-identical (3 shards; warm store compiles nothing)"
 
-echo "== 7/8 distributed sweep coordinator: stitch, retry, resume =="
+echo "== 7/9 distributed sweep coordinator: stitch, retry, resume =="
 # Plain coordinated run over worker subprocesses: the stitched output must
 # reproduce the cache-disabled single-process reference byte for byte.
 coord="$tmp/coord"
@@ -207,7 +213,7 @@ if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/coord_resume.jsonl"; then
 fi
 echo "coordinator byte-identical (3 worker subprocesses; 1 injected failure retried; resume launches 0)"
 
-echo "== 8/8 health-checked worker pool: heartbeats, failure domains, fault plan =="
+echo "== 8/9 health-checked worker pool: heartbeats, failure domains, fault plan =="
 now_ns() { date +%s%N; }
 # Timed plain-exec reference (fresh work dir so nothing resumes) for the
 # pool-overhead snapshot.
@@ -303,5 +309,79 @@ awk -v exec_ns="$exec_ns" -v pool_ns="$pool_ns" \
 echo "pool byte-identical (plain, dead-worker+hang fault plan); manifest attributes workers"
 echo "snapshot written to BENCH_6.json:"
 cat BENCH_6.json
+
+echo "== 9/9 batched simulation: -sim-batch byte-identity and scaling curve =="
+# The default grid's AB axis (0 vs 16 entries) is simulate-only, so every
+# compile key owns 2 sibling cells — batching has real lanes to merge.
+# Serial batched run: must be byte-identical to the batch-off reference.
+run_sweep "$tmp/sweep_batch1.jsonl" -spec "$tmp/spec.json" -sim-batch 8 -workers 1
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/sweep_batch1.jsonl"; then
+  echo "FAIL: -sim-batch 8 (serial) output differs from the batch-off reference" >&2
+  exit 1
+fi
+# The stderr line proves batching actually engaged — a silently-off batch
+# path would pass the cmp above while measuring nothing.
+if ! grep -q 'sim batches:' "$tmp/sweep_stderr.log"; then
+  echo "FAIL: -sim-batch 8 never reported sim batches (batching silently off?):" >&2
+  cat "$tmp/sweep_stderr.log" >&2
+  exit 1
+fi
+# Parallel batched run: batches are scheduled as tasks, rows still reorder
+# back to grid order.
+run_sweep "$tmp/sweep_batch8.jsonl" -spec "$tmp/spec.json" -sim-batch 8 -workers 8
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/sweep_batch8.jsonl"; then
+  echo "FAIL: -sim-batch 8 (8 workers) output differs from the batch-off reference" >&2
+  exit 1
+fi
+# Coordinator pool path: -sim-batch travels to worker subprocesses through
+# the shared base spec, so every shard simulates in batches and the
+# stitched output must still be byte-identical.
+if ! "$tmp/ivliw-bench" -spec "$tmp/spec.json" -sim-batch 8 -coordinate 3 \
+    -coordinate-launch pool -pool-workers 3 -pool-stale 2s \
+    -coordinate-dir "$tmp/pool_batch" -out "$tmp/pool_batch.jsonl" \
+    2> "$tmp/pool_batch_stderr.log"; then
+  echo "FAIL: pool run with -sim-batch 8 crashed:" >&2
+  cat "$tmp/pool_batch_stderr.log" >&2
+  exit 1
+fi
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/pool_batch.jsonl"; then
+  echo "FAIL: pool output with -sim-batch 8 differs from the batch-off reference" >&2
+  exit 1
+fi
+echo "batch-on byte-identical (serial, 8 workers, coordinator pool)"
+# Scaling snapshot for PERFORMANCE.md: cells/s over 1/2/4/8 sibling lanes
+# plus the batch-off 4-sibling baseline. Byte-identity above is the hard
+# gate; the throughputs are recorded, not thresholded.
+if ! go test -run '^$' -bench 'BenchmarkSweepBatch' -benchtime 500x . \
+    > "$tmp/bench_batch.txt" 2>&1; then
+  echo "FAIL: BenchmarkSweepBatch run crashed:" >&2
+  cat "$tmp/bench_batch.txt" >&2
+  exit 1
+fi
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
+  /^BenchmarkSweepBatch/ {
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^BenchmarkSweepBatch/, "", name)
+    for (i = 2; i < NF; i++) if ($(i + 1) == "cells/s") rate[name] = $i
+  }
+  END {
+    printf "{\n"
+    printf "  \"snapshot\": 7,\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", gover
+    printf "  \"grid\": \"2 benches x 2 clusters x N simulate-only siblings, warm disk store, 1 worker\",\n"
+    printf "  \"batch1_cells_per_s\": %s,\n", rate["1"]
+    printf "  \"batch2_cells_per_s\": %s,\n", rate["2"]
+    printf "  \"batch4_cells_per_s\": %s,\n", rate["4"]
+    printf "  \"batch8_cells_per_s\": %s,\n", rate["8"]
+    printf "  \"batch4_off_cells_per_s\": %s\n", rate["4Off"]
+    printf "}\n"
+  }' "$tmp/bench_batch.txt" > BENCH_7.json
+if grep -q ': ,' BENCH_7.json; then
+  echo "FAIL: BENCH_7.json has missing rates — benchmark output not parsed:" >&2
+  cat "$tmp/bench_batch.txt" >&2
+  exit 1
+fi
+echo "snapshot written to BENCH_7.json:"
+cat BENCH_7.json
 
 echo "CI PASS"

@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ivliw/internal/experiments"
+	"ivliw/internal/pipeline"
+	"ivliw/internal/workload"
+)
+
+// simBatch is one group of sibling cells: the same benchmark under machine
+// points sharing a compile key, so every lane consumes the same artifact
+// and one batched simulation pass (pipeline.SimulateBatch) produces all
+// their rows. The batch computes once — whichever worker reaches one of its
+// cells first runs it; workers on sibling cells block on the Once and then
+// read their lane's row.
+type simBatch struct {
+	once  sync.Once
+	vs    []experiments.Variant
+	bench workload.BenchSpec
+	rows  []Row
+}
+
+// batchPlan maps each of a shard's cells to its sibling batch and lane.
+// Planning is an index-space pass (no simulation); it is the one
+// shard-rows-proportional allocation of a batched run, 16 bytes per cell.
+type batchPlan struct {
+	cells []plannedCell
+	// batches and laneCells count the batches actually computed and the
+	// cells they covered, for Stats (equal to the plan's totals when the
+	// run completes; smaller after a cancellation).
+	batches   atomic.Int64
+	laneCells atomic.Int64
+}
+
+type plannedCell struct {
+	b    *simBatch
+	lane int
+}
+
+// planBatches groups the shard's cells [lo, hi) into sibling batches of at
+// most max lanes: cells join a batch when they name the same benchmark and
+// their points share a compile key (which subsumes pipeline.SimKey — every
+// layout-relevant axis is compile-key-covered), i.e. they differ only in
+// simulate-only axes and are exact lanes of one SimulateBatch call.
+// Grid order is preserved per cell — only the computation is shared — so
+// emission through the reorder window is byte-identical to the unbatched
+// path.
+func planBatches(points []experiments.Variant, benches []workload.BenchSpec, lo, hi, max int) *batchPlan {
+	p := &batchPlan{cells: make([]plannedCell, hi-lo)}
+	nb := len(benches)
+	type groupKey struct {
+		bench int
+		key   string
+	}
+	keys := map[int]string{} // point index -> compile key, memoized
+	open := map[groupKey]*simBatch{}
+	for c := lo; c < hi; c++ {
+		pi, bi := c/nb, c%nb
+		k, ok := keys[pi]
+		if !ok {
+			k = points[pi].CompileKey()
+			keys[pi] = k
+		}
+		gk := groupKey{bench: bi, key: k}
+		b := open[gk]
+		if b == nil || len(b.vs) >= max {
+			b = &simBatch{bench: benches[bi]}
+			open[gk] = b
+		}
+		p.cells[c-lo] = plannedCell{b: b, lane: len(b.vs)}
+		b.vs = append(b.vs, points[pi])
+	}
+	return p
+}
+
+// row returns cell i's row, computing its whole batch on first use.
+func (p *batchPlan) row(i int, st pipeline.Store) Row {
+	pc := p.cells[i]
+	pc.b.once.Do(func() {
+		pc.b.rows = cellBatch(pc.b.vs, pc.b.bench, st)
+		p.batches.Add(1)
+		p.laneCells.Add(int64(len(pc.b.vs)))
+	})
+	return pc.b.rows[pc.lane]
+}

@@ -1,0 +1,124 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// batchSpec is a grid rich in simulate-only siblings: per cluster count the
+// MSHR × AB axes (2 × 2 = 4 cells) share one compile key, so batching has
+// real lanes to merge. 2 clusters × 4 siblings × 2 benches = 16 cells.
+func batchSpec() Spec {
+	return Spec{
+		Grid: Grid{
+			Clusters:  []int{2, 4},
+			ABEntries: []int{0, 16},
+			MSHRs:     []int{0, 8},
+		},
+		Workloads: Workloads{Bench: []string{"g721dec", "gsmdec"}},
+		Compile:   Compile{Heuristic: "IPBC", Unroll: "none"},
+	}
+}
+
+// TestRunSimBatchByteIdentical: the batching acceptance criterion — with
+// SimBatch on, the JSONL stream is byte-for-byte the batch-off stream, across
+// worker counts and lane caps, and the run stats record the batch economy.
+func TestRunSimBatchByteIdentical(t *testing.T) {
+	spec := batchSpec()
+	spec.Workers = 1
+	ref := runJSONL(t, spec)
+
+	for _, tc := range []struct {
+		name     string
+		simBatch int
+		workers  int
+	}{
+		{"batch8-serial", 8, 1},
+		{"batch8-parallel", 8, 8},
+		{"batch2-parallel", 2, 3},
+		{"batch1-is-off", 1, 1},
+	} {
+		ss := spec
+		ss.SimBatch = tc.simBatch
+		ss.Workers = tc.workers
+		var buf bytes.Buffer
+		st, err := Run(context.Background(), ss, JSONL(&buf))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !bytes.Equal(ref, buf.Bytes()) {
+			t.Errorf("%s: sweep bytes differ from the batch-off run", tc.name)
+		}
+		if tc.simBatch > 1 {
+			if st.SimBatches == 0 || st.SimCells != int64(st.Rows) {
+				t.Errorf("%s: stats = %d cells in %d batches, want all %d cells batched",
+					tc.name, st.SimCells, st.SimBatches, st.Rows)
+			}
+			if st.SimBatches >= st.SimCells {
+				t.Errorf("%s: %d batches for %d cells — no sibling ever shared a pass",
+					tc.name, st.SimBatches, st.SimCells)
+			}
+		} else if st.SimBatches != 0 || st.SimCells != 0 {
+			t.Errorf("%s: stats = %d cells in %d batches, want 0 (batching off)",
+				tc.name, st.SimCells, st.SimBatches)
+		}
+	}
+}
+
+// TestRunSimBatchLaneCap: a cap of k must never put more than k lanes in a
+// batch — 4 siblings per compile key with SimBatch=2 splits into 2 batches
+// per key, visible as exactly cells/2 batches.
+func TestRunSimBatchLaneCap(t *testing.T) {
+	spec := batchSpec()
+	spec.SimBatch = 2
+	spec.Workers = 1
+	var buf bytes.Buffer
+	st, err := Run(context.Background(), spec, JSONL(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SimBatches != st.SimCells/2 {
+		t.Errorf("cap 2 over 4-sibling groups: %d batches for %d cells, want %d",
+			st.SimBatches, st.SimCells, st.SimCells/2)
+	}
+}
+
+// TestRunSimBatchFailedCells: batching must not smear one lane's failure
+// over its siblings — a grid with an infeasible point still yields the same
+// per-row errors and bytes as the serial path.
+func TestRunSimBatchFailedCells(t *testing.T) {
+	spec := batchSpec()
+	spec.Grid.Interleave = []int{3, 4} // interleave 3 never divides the block
+	spec.Workers = 1
+	ref := runJSONL(t, spec)
+
+	ss := spec
+	ss.SimBatch = 8
+	ss.Workers = 4
+	if got := runJSONL(t, ss); !bytes.Equal(ref, got) {
+		t.Error("batched run with failing cells differs from the serial run")
+	}
+}
+
+// TestRunSimBatchShardsConcatenate: shard outputs produced with batching on
+// concatenate to the unsharded batch-off stream — the property that lets
+// coordinated multi-process sweeps enable -sim-batch per worker freely.
+func TestRunSimBatchShardsConcatenate(t *testing.T) {
+	spec := batchSpec()
+	spec.Workers = 1
+	unsharded := runJSONL(t, spec)
+
+	const count = 3
+	var parts [][]byte
+	for i := 0; i < count; i++ {
+		ss := spec
+		ss.SimBatch = 8
+		ss.Workers = 8
+		ss.Shard = Shard{Index: i, Count: count}
+		parts = append(parts, runJSONL(t, ss))
+	}
+	if !bytes.Equal(bytes.Join(parts, nil), unsharded) {
+		t.Error("batched shard outputs do not concatenate to the unsharded batch-off run")
+	}
+}

@@ -203,6 +203,25 @@ func (p *Plan) ForLaunch(worker string, launch int) *Event {
 	return nil
 }
 
+// Environ assembles the environment of one worker-subprocess attempt: the
+// parent's environment (which forwards EnvPlan for free when armed),
+// launcher-specific extra entries, and the EnvAttempt export that lets the
+// worker match shard-scoped events. Every launcher that starts worker
+// subprocesses (sweep.Exec, and sweep.Pool through it) builds its
+// environment here, so the fault protocol's env contract lives in exactly
+// one place.
+func Environ(extra []string, attempt int) []string {
+	env := append(os.Environ(), extra...)
+	return append(env, AttemptEnv(attempt))
+}
+
+// AttemptEnv renders the EnvAttempt entry for a 1-based attempt number.
+func AttemptEnv(attempt int) string { return EnvAttempt + "=" + strconv.Itoa(attempt) }
+
+// WorkerEnv renders the EnvWorker entry naming the pool worker an attempt
+// was scheduled onto.
+func WorkerEnv(name string) string { return EnvWorker + "=" + name }
+
 // AttemptFromEnv reads this process's attempt number from EnvAttempt.
 // A standalone run (no launcher exported the variable) is its own first
 // attempt, so unset or unparsable values return 1.

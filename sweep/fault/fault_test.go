@@ -104,6 +104,57 @@ func TestFromEnv(t *testing.T) {
 	}
 }
 
+// TestEnviron: the single env-assembly helper behind every subprocess
+// launcher must forward the parent environment, append launcher extras in
+// order, and export the attempt number last.
+func TestEnviron(t *testing.T) {
+	t.Setenv("IVLIW_TEST_MARKER", "parent")
+	env := Environ([]string{"EXTRA_A=1", "EXTRA_B=2"}, 3)
+	n := len(env)
+	if n < 4 || env[n-1] != AttemptEnv(3) || env[n-2] != "EXTRA_B=2" || env[n-3] != "EXTRA_A=1" {
+		t.Fatalf("Environ tail = %v, want extras then %q", env[max(0, n-3):], AttemptEnv(3))
+	}
+	found := false
+	for _, e := range env {
+		if e == "IVLIW_TEST_MARKER=parent" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Environ dropped the parent environment")
+	}
+	if AttemptEnv(7) != EnvAttempt+"=7" {
+		t.Errorf("AttemptEnv(7) = %q", AttemptEnv(7))
+	}
+	if WorkerEnv("w2") != EnvWorker+"=w2" {
+		t.Errorf("WorkerEnv(w2) = %q", WorkerEnv("w2"))
+	}
+}
+
+// TestUnarmedZeroOverhead: an unset IVLIW_FAULT_PLAN must cost nothing on
+// hot paths — FromEnv never opens or parses anything, and nil-plan matching
+// (the per-attempt/per-launch checks) allocates nothing. This is what lets
+// production runs keep the fault seams compiled in.
+func TestUnarmedZeroOverhead(t *testing.T) {
+	t.Setenv(EnvPlan, "")
+	if allocs := testing.AllocsPerRun(100, func() {
+		p, err := FromEnv()
+		if p != nil || err != nil {
+			t.Fatal("unarmed FromEnv must be nil, nil")
+		}
+	}); allocs != 0 {
+		t.Errorf("unarmed FromEnv allocates %.0f objects/run, want 0 (is it reading a file?)", allocs)
+	}
+	var nilPlan *Plan
+	if allocs := testing.AllocsPerRun(100, func() {
+		if nilPlan.ForAttempt(1, 1) != nil || nilPlan.ForLaunch("w1", 1) != nil {
+			t.Fatal("nil plan must match nothing")
+		}
+	}); allocs != 0 {
+		t.Errorf("nil-plan matching allocates %.0f objects/run, want 0", allocs)
+	}
+}
+
 func TestAttemptFromEnv(t *testing.T) {
 	t.Setenv(EnvAttempt, "")
 	if n := AttemptFromEnv(); n != 1 {

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"os/exec"
 	"strings"
 	"sync"
@@ -166,9 +165,9 @@ func (e Exec) Launch(ctx context.Context, task ShardTask) error {
 		cmd.Stderr = tail
 	}
 	// The attempt number rides the environment so a scripted fault plan
-	// (sweep/fault) can target "shard i, attempt j" deterministically.
-	cmd.Env = append(os.Environ(), e.Env...)
-	cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%d", fault.EnvAttempt, task.Attempt))
+	// (sweep/fault) can target "shard i, attempt j" deterministically;
+	// fault.Environ owns the protocol's env contract for every launcher.
+	cmd.Env = fault.Environ(e.Env, task.Attempt)
 	// Cancellation means teardown, not murder: SIGTERM first, so the worker
 	// runs its signal-clean exit (discarding staged temps), SIGKILL only
 	// after the grace. CommandContext's default is an immediate SIGKILL,

@@ -79,12 +79,13 @@ func shardFileName(i int) string { return fmt.Sprintf("shard_%d.jsonl", i) }
 
 // specHash fingerprints the semantic content of a spec — the grid, the
 // workload selection and the compiler configuration, the inputs that
-// determine row bytes. Per-process knobs (shard, output, store, workers)
-// are cleared first: they change where and how fast rows are produced,
-// never what they contain, so a resume across a moved artifact directory
-// or a different worker count still trusts completed shard outputs.
+// determine row bytes. Per-process knobs (shard, output, store, workers,
+// sim batching) are cleared first: they change where and how fast rows are
+// produced, never what they contain, so a resume across a moved artifact
+// directory or a different worker count still trusts completed shard
+// outputs.
 func specHash(s Spec) (string, error) {
-	s.Shard, s.Output, s.Store, s.Workers, s.Heartbeat = Shard{}, Output{}, Store{}, 0, Heartbeat{}
+	s.Shard, s.Output, s.Store, s.Workers, s.SimBatch, s.Heartbeat = Shard{}, Output{}, Store{}, 0, 0, Heartbeat{}
 	b, err := s.Encode()
 	if err != nil {
 		return "", err

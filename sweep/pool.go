@@ -431,7 +431,7 @@ func (p *Pool) runAttempt(ctx context.Context, w *poolWorker, att *poolAttempt, 
 		e := Exec{
 			Command: w.Command,
 			Stderr:  p.Stderr,
-			Env:     append(append([]string(nil), w.Env...), fault.EnvWorker+"="+w.Name),
+			Env:     append(append([]string(nil), w.Env...), fault.WorkerEnv(w.Name)),
 			Extra:   extra,
 			Grace:   p.Grace,
 		}

@@ -62,6 +62,32 @@ type Row struct {
 // cell runs one (point × benchmark) cell against the shared artifact store,
 // folding any failure into the row.
 func cell(v experiments.Variant, bench workload.BenchSpec, st pipeline.Store) Row {
+	row := rowShell(v, bench)
+	// RunBenchStore validates the full configuration before touching the
+	// store, so a bad machine point surfaces here as this row's error —
+	// identically with any store or none.
+	b, err := experiments.RunBenchStore(bench, v, st)
+	rowFill(&row, b, err)
+	return row
+}
+
+// cellBatch runs sibling cells — one benchmark under variants sharing a
+// compile key — as lanes of one batched simulation, returning one row per
+// variant in order. Row values are identical to looping cell(): the batch
+// runner preserves per-lane validation, error text, and simulation results.
+func cellBatch(vs []experiments.Variant, bench workload.BenchSpec, st pipeline.Store) []Row {
+	rows := make([]Row, len(vs))
+	benches, errs := experiments.RunBenchBatchStore(bench, vs, st)
+	for l := range vs {
+		rows[l] = rowShell(vs[l], bench)
+		rowFill(&rows[l], benches[l], errs[l])
+	}
+	return rows
+}
+
+// rowShell fills the cell's machine and workload coordinates — everything
+// known before any simulation runs.
+func rowShell(v experiments.Variant, bench workload.BenchSpec) Row {
 	row := Row{
 		Point:            v.Label,
 		Bench:            bench.Name,
@@ -85,13 +111,14 @@ func cell(v experiments.Variant, bench workload.BenchSpec, st pipeline.Store) Ro
 	if v.Cfg.AttractionBuffers {
 		row.ABEntries = v.Cfg.ABEntries
 	}
-	// RunBenchStore validates the full configuration before touching the
-	// store, so a bad machine point surfaces here as this row's error —
-	// identically with any store or none.
-	b, err := experiments.RunBenchStore(bench, v, st)
+	return row
+}
+
+// rowFill folds one cell's result (or failure) into its row.
+func rowFill(row *Row, b stats.Bench, err error) {
 	if err != nil {
 		row.Error = err.Error()
-		return row
+		return
 	}
 	acc := b.Accesses()
 	row.Cycles = b.TotalCycles()
@@ -106,7 +133,6 @@ func cell(v experiments.Variant, bench workload.BenchSpec, st pipeline.Store) Ro
 	row.RemoteMisses = acc[stats.RMiss]
 	row.Combined = acc[stats.Combined]
 	row.BalanceMilli = int64(b.WeightedBalance()*1000 + 0.5)
-	return row
 }
 
 // EncodeRows renders already-collected rows as JSONL — byte-identical to

@@ -37,6 +37,13 @@ type Spec struct {
 	// Workers is the worker-pool size (0 = the SetWorkers/GOMAXPROCS
 	// default). Row values are independent of it.
 	Workers int `json:"workers,omitempty"`
+	// SimBatch caps how many sibling cells — same benchmark, same compile
+	// key, differing only in simulate-only axes — share one batched
+	// simulation pass (pipeline.SimulateBatch): 0 turns batching off,
+	// >= 2 enables it with that lane cap (1 behaves like off). Like
+	// Workers it is a per-process throughput knob: row values and output
+	// bytes are independent of it.
+	SimBatch int `json:"sim_batch,omitempty"`
 	// Shard names the slice of the row grid this process evaluates.
 	Shard Shard `json:"shard"`
 	// Store configures the artifact store resolving stage-1 compilations.
@@ -163,6 +170,9 @@ func (s Spec) Validate() error {
 func (s Spec) resolve() (core.Options, []workload.BenchSpec, error) {
 	if s.Workers < 0 {
 		return core.Options{}, nil, fmt.Errorf("sweep: workers must be >= 0 (0 = default), got %d", s.Workers)
+	}
+	if s.SimBatch < 0 {
+		return core.Options{}, nil, fmt.Errorf("sweep: sim_batch must be >= 0 (0 = off), got %d", s.SimBatch)
 	}
 	if s.Heartbeat.IntervalMS < 0 {
 		return core.Options{}, nil, fmt.Errorf("sweep: heartbeat interval_ms must be >= 0 (0 = default), got %d", s.Heartbeat.IntervalMS)

@@ -116,6 +116,8 @@ func TestSpecValidate(t *testing.T) {
 		"no-workloads":         {func(s *Spec) { s.Workloads = Workloads{} }, "no workloads"},
 		"negative-synth-count": {func(s *Spec) { s.Workloads.SynthCount = -1 }, "synth_count"},
 		"negative-workers":     {func(s *Spec) { s.Workers = -8 }, "workers"},
+		"ok-sim-batch":         {func(s *Spec) { s.SimBatch = 8 }, ""},
+		"negative-sim-batch":   {func(s *Spec) { s.SimBatch = -1 }, "sim_batch"},
 		"bad-synth-spec":       {func(s *Spec) { s.Workloads.Synth = []SynthSpec{{}} }, "needs a name"},
 		"bad-heuristic":        {func(s *Spec) { s.Compile.Heuristic = "FASTEST" }, "unknown heuristic"},
 		"bad-unroll":           {func(s *Spec) { s.Compile.Unroll = "always" }, "unknown unroll"},

@@ -62,6 +62,12 @@ type Stats struct {
 
 	MemHits, MemMisses, MemEvictions                  int64
 	DiskHits, DiskMisses, DiskWrites, DiskWriteErrors int64
+
+	// SimCells and SimBatches describe the batched-simulation path when
+	// Spec.SimBatch enables it: cells evaluated as lanes of sibling
+	// batches and the number of batches computed (mean lane width is
+	// SimCells/SimBatches). Both zero when batching is off.
+	SimCells, SimBatches int64
 }
 
 // Run executes the spec's shard of the sweep, streaming rows in grid order
@@ -135,8 +141,21 @@ func Run(ctx context.Context, spec Spec, sink Sink) (Stats, error) {
 	n := len(points) * nb
 	lo, hi := spec.Shard.Range(n)
 	emitted := 0
+	// With SimBatch >= 2, sibling cells (same benchmark, same compile key)
+	// share one batched simulation pass: the cell function resolves through
+	// the plan, which computes a whole batch the first time any of its
+	// cells is dispatched. Cell indices, dispatch order and the reorder
+	// window are untouched, so rows stream in the identical order and with
+	// identical bytes either way.
+	var plan *batchPlan
+	if spec.SimBatch > 1 {
+		plan = planBatches(points, benches, lo, hi, spec.SimBatch)
+	}
 	err = streamCells(ctx, hi-lo, spec.Workers,
 		func(i int) (Row, error) {
+			if plan != nil {
+				return plan.row(i, mem), nil
+			}
 			c := lo + i
 			return cell(points[c/nb], benches[c%nb], mem), nil
 		},
@@ -172,6 +191,10 @@ func Run(ctx context.Context, spec Spec, sink Sink) (Stats, error) {
 	}
 
 	st := Stats{Rows: emitted}
+	if plan != nil {
+		st.SimBatches = plan.batches.Load()
+		st.SimCells = plan.laneCells.Load()
+	}
 	ms := mem.Stats()
 	st.MemHits, st.MemMisses, st.MemEvictions = ms.Hits, ms.Misses, ms.Evictions
 	if disk != nil {
