@@ -18,12 +18,15 @@
 //	            [-sweep-heuristic IPBC] [-sweep-unroll selective]
 //	            [-compile-cache 256] [-artifact-dir DIR] [-sim-batch 8]
 //	            [-shard i/n] [-out sweep.jsonl] [-spec-out run.json]
-//	ivliw-bench -spec run.json [-shard i/n] [-artifact-dir DIR]
+//	ivliw-bench -spec run.json [-shard i/n] [-claim lo:hi] [-artifact-dir DIR]
 //	            [-sim-batch 8] [-out shard.jsonl]
+//	ivliw-bench -spec run.json -calibrate calibration.json
 //	ivliw-bench -spec run.json -coordinate 3 [-coordinate-dir DIR]
 //	            [-coordinate-launch exec|inproc|pool] [-coordinate-attempts 3]
 //	            [-coordinate-straggler 90s] [-coordinate-backoff 250ms]
-//	            [-coordinate-seed 1] [-out sweep.jsonl]
+//	            [-coordinate-seed 1] [-coordinate-balance count|cost]
+//	            [-coordinate-steal 4] [-coordinate-calibration calibration.json]
+//	            [-out sweep.jsonl]
 //	ivliw-bench -spec run.json -coordinate 3 -coordinate-launch pool
 //	            [-pool-workers 3] [-pool-slots 1] [-pool-capacity 0]
 //	            [-pool-stale 2s] [-pool-heartbeat 500ms]
@@ -44,6 +47,18 @@
 // inproc: goroutines), failed attempts are retried and stragglers
 // optionally relaunched within -coordinate-attempts, and the per-shard
 // outputs are stitched into -out byte-identical to the unsharded run.
+// -coordinate-balance cost cuts the grid at equal predicted cost instead of
+// equal row count, under a cost model optionally calibrated to this machine
+// (-calibrate writes the file, -coordinate-calibration loads it; a missing
+// or corrupt file degrades to the built-in model with a warning).
+// -coordinate-steal k cuts finer — up to k cost-ordered chunks per shard,
+// on compile-key atom boundaries — and idle workers claim the next chunk
+// (heaviest first) as they finish, so a straggling range delays the run by
+// its own length, not its whole static shard's. Workers receive explicit
+// ranges through the -claim lo:hi protocol; every cut policy preserves
+// byte-identity by construction, because rows stay keyed by grid index and
+// the stitcher concatenates ranges in index order. Zero-row ranges are
+// committed as empty outputs directly, never launched.
 // Shard outputs and the manifest live in -coordinate-dir; every state
 // transition is committed atomically (temp+rename), so a coordinator
 // killed mid-run resumes its completed shards when rerun over the same
@@ -118,6 +133,8 @@ func main() {
 	compileCache := flag.Int("compile-cache", pipeline.DefaultCacheSize, "in-memory compiled-schedule cache capacity in artifacts (0 disables; output is identical either way)")
 	artifactDir := flag.String("artifact-dir", "", "persist compiled schedule artifacts in this directory (content-addressed; repeated and sharded sweeps start warm)")
 	shardFlag := flag.String("shard", "", "evaluate shard i/n of the sweep grid (e.g. 0/3); concatenating all shards' outputs reproduces the unsharded run byte-for-byte")
+	claimFlag := flag.String("claim", "", "evaluate exactly rows lo:hi of the sweep grid (e.g. 12:16), overriding -shard's row arithmetic — the coordinator's cost-cut/work-stealing protocol")
+	calibrate := flag.String("calibrate", "", "probe this machine's compile/simulate costs over the spec's cluster axis and write the calibration JSON to this file (no sweep rows are produced)")
 	specPath := flag.String("spec", "", "run the sweep described by this spec file (JSON, see -spec-out) instead of the -sweep-* flags")
 	specOut := flag.String("spec-out", "", "write the sweep spec as JSON to this file and exit without running")
 	out := flag.String("out", "", "write sweep JSONL rows to this file instead of stdout")
@@ -128,6 +145,10 @@ func main() {
 	coordStraggler := flag.Duration("coordinate-straggler", 0, "relaunch a shard still running after this long (e.g. 90s; 0: never)")
 	coordBackoff := flag.Duration("coordinate-backoff", 0, "base delay before retrying a failed shard attempt, doubled per retry with deterministic jitter (0: retry immediately)")
 	coordSeed := flag.Uint64("coordinate-seed", 0, "seed of the deterministic retry and quarantine jitter")
+	coordParallel := flag.Int("coordinate-parallel", 0, "bound on concurrently running shard attempts (0: all shards at once); 1 serializes launches, e.g. for contention-free per-shard timing")
+	coordBalance := flag.String("coordinate-balance", "count", "shard cut policy: count (row-count-balanced slices) or cost (equal predicted cost under the calibration model, cut on compile-key atoms)")
+	coordSteal := flag.Int("coordinate-steal", 0, "work stealing: cut the grid into up to N cost-ordered chunks per shard, claimed dynamically by idle workers (0: static shards)")
+	coordCalibration := flag.String("coordinate-calibration", "", "calibration JSON for the cost model (see -calibrate); a missing or corrupt file degrades to the built-in default with a warning")
 	heartbeat := flag.String("heartbeat", "", "write liveness heartbeats to this file while the sweep runs (sweep/spec runs)")
 	heartbeatInterval := flag.Duration("heartbeat-interval", 0, "heartbeat period (0: 500ms; needs -heartbeat)")
 	poolWorkers := flag.Int("pool-workers", 3, "pool size for -coordinate-launch pool: worker subprocesses of this binary")
@@ -156,6 +177,10 @@ func main() {
 	if err != nil {
 		usageErr("%v", err)
 	}
+	claimLo, claimHi, err := parseClaim(*claimFlag)
+	if err != nil {
+		usageErr("%v", err)
+	}
 	experiments.SetWorkers(*workers)
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -173,11 +198,23 @@ func main() {
 		if set["shard"] {
 			usageErr("-shard cannot be combined with -coordinate (the coordinator owns sharding)")
 		}
+		if set["claim"] {
+			usageErr("-claim cannot be combined with -coordinate (the coordinator owns sharding)")
+		}
 		if *coordLaunch != "exec" && *coordLaunch != "inproc" && *coordLaunch != "pool" {
 			usageErr("-coordinate-launch must be exec, inproc or pool, got %q", *coordLaunch)
 		}
 		if *coordAttempts < 1 {
 			usageErr("-coordinate-attempts must be >= 1, got %d", *coordAttempts)
+		}
+		if *coordBalance != sweep.BalanceCount && *coordBalance != sweep.BalanceCost {
+			usageErr("-coordinate-balance must be count or cost, got %q", *coordBalance)
+		}
+		if *coordSteal < 0 {
+			usageErr("-coordinate-steal must be >= 0, got %d", *coordSteal)
+		}
+		if *coordParallel < 0 {
+			usageErr("-coordinate-parallel must be >= 0, got %d", *coordParallel)
 		}
 		if set["heartbeat"] || set["heartbeat-interval"] {
 			usageErr("-heartbeat is a per-worker knob; coordinated runs assign heartbeats through -coordinate-launch pool")
@@ -200,8 +237,20 @@ func main() {
 	if set["heartbeat-interval"] && !set["heartbeat"] {
 		usageErr("-heartbeat-interval needs -heartbeat")
 	}
+	if *calibrate != "" {
+		// Calibration is its own mode: it probes costs and writes one JSON
+		// file. Flags that shape a row-producing run have nothing to shape.
+		for _, name := range []string{"spec-out", "shard", "claim", "out"} {
+			if set[name] {
+				usageErr("-%s cannot be combined with -calibrate", name)
+			}
+		}
+		if *coordinate > 0 {
+			usageErr("-calibrate cannot be combined with -coordinate (calibrate first, then pass the file via -coordinate-calibration)")
+		}
+	}
 
-	if *sweepMode || *specPath != "" || *specOut != "" || *coordinate > 0 {
+	if *sweepMode || *specPath != "" || *specOut != "" || *coordinate > 0 || *calibrate != "" {
 		if set["exp"] {
 			usageErr("-exp cannot be combined with -sweep/-spec/-spec-out")
 		}
@@ -272,6 +321,13 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		// An explicit -claim range overrides whatever row arithmetic the
+		// shard would do: Shard.Range answers [Lo, Hi) whenever Hi > Lo.
+		// Applied after the spec is built, whichever way it was built, like
+		// the other per-process knobs below.
+		if set["claim"] {
+			spec.Shard.Lo, spec.Shard.Hi = claimLo, claimHi
+		}
 		// Heartbeats are a per-process knob like -out: applied after the
 		// spec is built, whichever way it was built.
 		if set["heartbeat"] {
@@ -318,6 +374,22 @@ func main() {
 		// process exits with the conventional 130.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
+		if *calibrate != "" {
+			cal, err := sweep.Calibrate(ctx, spec)
+			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					log.Print("interrupted; no calibration file written")
+					os.Exit(130)
+				}
+				log.Fatal(err)
+			}
+			if err := sweep.SaveCalibration(*calibrate, cal); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("calibration written to %s (%.0f cells/s baseline, %d cluster points)",
+				*calibrate, cal.CellsPerSec, len(cal.Clusters))
+			return
+		}
 		if *coordinate > 0 {
 			err = runCoordinated(ctx, spec, coordinatorCLI{
 				shards:         *coordinate,
@@ -327,6 +399,10 @@ func main() {
 				straggler:      *coordStraggler,
 				backoff:        *coordBackoff,
 				seed:           *coordSeed,
+				parallel:       *coordParallel,
+				balance:        *coordBalance,
+				steal:          *coordSteal,
+				calibration:    *coordCalibration,
 				poolWorkers:    *poolWorkers,
 				poolCapacity:   *poolCapacity,
 				poolSlots:      *poolSlots,
@@ -378,7 +454,8 @@ func main() {
 	// misconfigure without a word, so reject the combination like the
 	// -spec/-sweep-* one.
 	for _, name := range sortedNames(set) {
-		sweepOnly := name == "shard" || name == "artifact-dir" || name == "out" ||
+		sweepOnly := name == "shard" || name == "claim" || name == "calibrate" ||
+			name == "artifact-dir" || name == "out" ||
 			name == "compile-cache" || name == "heartbeat" || name == "heartbeat-interval" ||
 			name == "sim-batch" ||
 			strings.HasPrefix(name, "sweep-") ||
@@ -649,6 +726,30 @@ func specFromFlags(o sweepOptions) (sweep.Spec, error) {
 	return spec, nil
 }
 
+// parseClaim parses the -claim lo:hi syntax ("" = no claim). The range is
+// half-open, must not be inverted, and must be non-empty: claiming nothing
+// is a flag mistake, not a request for an empty output.
+func parseClaim(s string) (lo, hi int, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, 0, nil
+	}
+	l, h, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("-claim must be lo:hi (e.g. 12:16), got %q", s)
+	}
+	if lo, err = strconv.Atoi(strings.TrimSpace(l)); err != nil {
+		return 0, 0, fmt.Errorf("-claim lo %q: want an integer", l)
+	}
+	if hi, err = strconv.Atoi(strings.TrimSpace(h)); err != nil {
+		return 0, 0, fmt.Errorf("-claim hi %q: want an integer", h)
+	}
+	if lo < 0 || hi <= lo {
+		return 0, 0, fmt.Errorf("-claim wants 0 <= lo < hi, got %d:%d", lo, hi)
+	}
+	return lo, hi, nil
+}
+
 // parseShard parses the -shard i/n syntax into a shard ("" = unsharded).
 func parseShard(s string) (sweep.Shard, error) {
 	s = strings.TrimSpace(s)
@@ -700,13 +801,17 @@ func runSweep(ctx context.Context, spec sweep.Spec) error {
 
 // coordinatorCLI carries the parsed -coordinate-* and -pool-* flag values.
 type coordinatorCLI struct {
-	shards    int
-	dir       string
-	launch    string
-	attempts  int
-	straggler time.Duration
-	backoff   time.Duration
-	seed      uint64
+	shards      int
+	dir         string
+	launch      string
+	attempts    int
+	straggler   time.Duration
+	backoff     time.Duration
+	seed        uint64
+	parallel    int
+	balance     string
+	steal       int
+	calibration string
 
 	poolWorkers    int
 	poolCapacity   int
@@ -775,6 +880,10 @@ func runCoordinated(ctx context.Context, spec sweep.Spec, o coordinatorCLI) erro
 		StragglerAfter: o.straggler,
 		RetryBackoff:   o.backoff,
 		Seed:           o.seed,
+		Parallel:       o.parallel,
+		Balance:        o.balance,
+		Steal:          o.steal,
+		Calibration:    o.calibration,
 		Log:            log.Printf,
 	})
 	if pool != nil {
@@ -787,6 +896,14 @@ func runCoordinated(ctx context.Context, spec sweep.Spec, o coordinatorCLI) erro
 	}
 	log.Printf("coordinator: %d shards (%d resumed), %d launches (%d retries, %d stragglers), %d rows stitched",
 		st.Shards, st.Resumed, st.Launches, st.Retries, st.Stragglers, st.Rows)
+	if st.Tasks != st.Shards || st.Empty > 0 {
+		log.Printf("coordinator: grid cut into %d range tasks (%d empty, committed without launching)",
+			st.Tasks, st.Empty)
+	}
+	if st.Launches > 0 {
+		log.Printf("coordinator: slowest task %d: %.2fs (%.1f cells/s)",
+			st.SlowestTask, st.SlowestWall.Seconds(), st.SlowestCellsPerSec)
+	}
 	return nil
 }
 

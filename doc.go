@@ -131,6 +131,41 @@
 // every recovery path. `ivliw-bench -coordinate n -coordinate-launch pool`
 // wraps it; examples/worker-pool drives a faulted pool end to end.
 //
+// # Cost-balanced coordination
+//
+// Count-balanced shard cuts assume rows cost the same, but an 8-cluster
+// jpegenc row compiles orders of magnitude slower than a 2-cluster one, so
+// one shard can dominate wall time. sweep.Calibration is a small persisted
+// cost model — per-cluster-count compile and simulate costs (geometrically
+// interpolated between measured points), a cache-geometry exponent and a
+// sim-batch sharing discount — that prices every row of a grid from its
+// config axes. sweep.Calibrate measures it on the actual machine
+// (`ivliw-bench -calibrate calibration.json`; the file is strict-parsed
+// like a Spec and atomically written, meant to live next to the BENCH_N
+// snapshots), and CoordinatorOptions.Calibration loads it back — a missing
+// or corrupt file degrades to the built-in default model with a warning,
+// never a failure.
+//
+// Two scheduling layers spend the model. With
+// CoordinatorOptions.Balance == BalanceCost (`-coordinate-balance cost`),
+// shard cuts equalize predicted cost instead of row count, cutting only on
+// compile-key atom boundaries (sibling runs of rows sharing one compiled
+// artifact) so no artifact is compiled twice across shards. With
+// CoordinatorOptions.Steal > 0 (`-coordinate-steal k`), static slices are
+// replaced by a work-stealing queue: the grid is cut into up to k×n
+// cost-ordered chunks, and idle workers claim the heaviest remaining chunk
+// — a straggling chunk delays only itself. Chunks pin explicit row ranges
+// through Shard.Lo/Hi (CLI protocol: `ivliw-bench -spec F -claim lo:hi`),
+// and byte-identity holds by construction: rows are keyed by grid index,
+// chunks tile the grid exactly, and the stitcher concatenates committed
+// chunk files in index order (gated by scripts/ci.sh step 10 across the
+// in-process, exec and pool launchers, including an injected chunk crash).
+// Cuts that come out empty (more shards than rows, or a heavy atom
+// swallowing a whole share) commit their empty output directly instead of
+// launching a worker. The manifest records per-attempt wall time and
+// cells/s, which is both the coordinator's slowest-task stats line and the
+// raw material for recalibration.
+//
 // # Pipeline stages
 //
 // Compilation and simulation are two explicit stages with a serializable

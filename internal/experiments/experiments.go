@@ -80,6 +80,25 @@ func (v Variant) CompileKey() string {
 	return fmt.Sprintf("%s|%s|al%t", v.Cfg.CompileKey(), pipeline.OptionsKey(v.Opt), v.Aligned)
 }
 
+// BenchWork estimates the relative simulation work of one benchmark from
+// its profile alone: the sum over loops of average trip count × body size.
+// The simulator executes each loop's profiled iterations once (invocation
+// counts only scale the folded statistics), so this pre-compile proxy
+// tracks simulate wall time without touching either pipeline stage — the
+// sweep cost model uses it to weight rows before anything runs. It is a
+// relative weight, never a cycle estimate; the floor of 1 keeps degenerate
+// (loop-less) specs from pricing at zero.
+func BenchWork(spec workload.BenchSpec) float64 {
+	var w float64
+	for _, ls := range spec.Loops {
+		w += float64(ls.Loop.AvgIters) * float64(len(ls.Loop.Instrs))
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
 // RunBench compiles and simulates every loop of one benchmark under the
 // variant, sharing the L1 across loops (Attraction Buffers are flushed
 // between loops by the simulator). It runs the two pipeline stages

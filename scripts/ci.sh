@@ -38,6 +38,18 @@
 #      pool — and must actually engage (the "sim batches:" stderr line);
 #      the BenchmarkSweepBatch1/2/4/8 scaling curve (plus the batch-off
 #      4-sibling baseline) is written to BENCH_7.json
+#  10. cost-balanced scheduling + work stealing: on a skewed mixed-cluster
+#      grid (2-cluster compiles are milliseconds, 8-cluster compiles are
+#      hundreds of milliseconds), `-calibrate` must round-trip through
+#      CALIBRATION.json; `-coordinate-balance cost -coordinate-steal 4` must
+#      stitch byte-identically through the inproc, exec and pool launchers —
+#      including a run with an injected chunk crash — and a corrupt
+#      calibration file must degrade to the default model with a warning,
+#      never a failure. The hard perf gate: the per-worker makespan of
+#      cost-balanced cuts + stealing (from contention-free serialized
+#      per-chunk wall times, scheduled exactly as the claim queue does) must
+#      beat count-balanced static shards by >= 1.5x at 2 workers; the
+#      measured makespans land in BENCH_8.json
 #
 # Usage: scripts/ci.sh
 # To refresh the golden transcript after an *intentional* output change:
@@ -48,16 +60,16 @@ cd "$(dirname "$0")/.."
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== 1/9 go build ./... =="
+echo "== 1/10 go build ./... =="
 go build ./...
 
-echo "== 2/9 go vet ./... =="
+echo "== 2/10 go vet ./... =="
 go vet ./...
 
-echo "== 3/9 go test -race ./... =="
+echo "== 3/10 go test -race ./... =="
 go test -race ./...
 
-echo "== 4/9 paper-output byte identity (ivliw-bench -exp all) =="
+echo "== 4/10 paper-output byte identity (ivliw-bench -exp all) =="
 go build -o "$tmp/ivliw-bench" ./cmd/ivliw-bench
 "$tmp/ivliw-bench" -exp all > "$tmp/exp_all.txt"
 if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
@@ -67,7 +79,7 @@ if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
 fi
 echo "byte-identical"
 
-echo "== 5/9 sweep determinism across workers and compile cache =="
+echo "== 5/10 sweep determinism across workers and compile cache =="
 # run_sweep keeps stderr (cache-stats noise, but also any crash) in a log
 # that is replayed if the invocation fails.
 run_sweep() { # out_file, args...
@@ -107,7 +119,7 @@ if [ "$rows" -lt 12 ]; then
 fi
 echo "deterministic ($rows rows; workers 1/8 × cache on/off × stdout/-out)"
 
-echo "== 6/9 declarative specs, sharding and the disk artifact store =="
+echo "== 6/10 declarative specs, sharding and the disk artifact store =="
 # Capture the default flag grid as a spec file; running the file must be
 # byte-identical to the cache-disabled reference of step 5.
 "$tmp/ivliw-bench" -sweep -spec-out "$tmp/spec.json"
@@ -155,7 +167,7 @@ for bad in "3/3" "-1/3" "x/3" "1x3" "0/0"; do
 done
 echo "spec/shard/store byte-identical (3 shards; warm store compiles nothing)"
 
-echo "== 7/9 distributed sweep coordinator: stitch, retry, resume =="
+echo "== 7/10 distributed sweep coordinator: stitch, retry, resume =="
 # Plain coordinated run over worker subprocesses: the stitched output must
 # reproduce the cache-disabled single-process reference byte for byte.
 coord="$tmp/coord"
@@ -213,7 +225,7 @@ if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/coord_resume.jsonl"; then
 fi
 echo "coordinator byte-identical (3 worker subprocesses; 1 injected failure retried; resume launches 0)"
 
-echo "== 8/9 health-checked worker pool: heartbeats, failure domains, fault plan =="
+echo "== 8/10 health-checked worker pool: heartbeats, failure domains, fault plan =="
 now_ns() { date +%s%N; }
 # Timed plain-exec reference (fresh work dir so nothing resumes) for the
 # pool-overhead snapshot.
@@ -310,7 +322,7 @@ echo "pool byte-identical (plain, dead-worker+hang fault plan); manifest attribu
 echo "snapshot written to BENCH_6.json:"
 cat BENCH_6.json
 
-echo "== 9/9 batched simulation: -sim-batch byte-identity and scaling curve =="
+echo "== 9/10 batched simulation: -sim-batch byte-identity and scaling curve =="
 # The default grid's AB axis (0 vs 16 entries) is simulate-only, so every
 # compile key owns 2 sibling cells — batching has real lanes to merge.
 # Serial batched run: must be byte-identical to the batch-off reference.
@@ -383,5 +395,141 @@ if grep -q ': ,' BENCH_7.json; then
 fi
 echo "snapshot written to BENCH_7.json:"
 cat BENCH_7.json
+
+echo "== 10/10 cost-balanced scheduling + work stealing =="
+# The skew grid: the 2-cluster half compiles in milliseconds, the 8-cluster
+# half in hundreds of milliseconds (two heavy compile-key atoms, one per
+# cache geometry) — the workload shape cost-balanced cuts exist for.
+"$tmp/ivliw-bench" -sweep -sweep-clusters 2,8 -sweep-cache-kb 4,8 -sweep-ab 0,16 \
+  -sweep-bench jpegenc,g721dec -spec-out "$tmp/skew.json"
+run_sweep "$tmp/skew_ref.jsonl" -spec "$tmp/skew.json"
+# Calibration round-trip: measure this machine, persist next to the BENCH
+# snapshots, and prove the coordinator actually loads the file back.
+t0=$(now_ns)
+if ! "$tmp/ivliw-bench" -spec "$tmp/skew.json" -calibrate CALIBRATION.json \
+    2> "$tmp/calibrate_stderr.log"; then
+  echo "FAIL: ivliw-bench -calibrate crashed:" >&2
+  cat "$tmp/calibrate_stderr.log" >&2
+  exit 1
+fi
+calibrate_ns=$(( $(now_ns) - t0 ))
+if ! grep -q 'calibration written to' "$tmp/calibrate_stderr.log"; then
+  echo "FAIL: -calibrate never confirmed the write:" >&2
+  cat "$tmp/calibrate_stderr.log" >&2
+  exit 1
+fi
+# Byte-identity of cost-balanced cuts + stealing across every launcher path.
+coord_skew() { # work_dir out_file extra_args...
+  local work="$1" out="$2"; shift 2
+  if ! "$tmp/ivliw-bench" -spec "$tmp/skew.json" -coordinate 2 \
+      -coordinate-dir "$work" -out "$out" "$@" 2> "$tmp/skew_stderr.log"; then
+    echo "FAIL: skew coordinate run ($*) crashed:" >&2
+    cat "$tmp/skew_stderr.log" >&2
+    exit 1
+  fi
+  if ! cmp -s "$tmp/skew_ref.jsonl" "$out"; then
+    echo "FAIL: skew coordinate run ($*) differs from the unsharded reference" >&2
+    exit 1
+  fi
+}
+for launch in inproc exec pool; do
+  extra=()
+  if [ "$launch" = pool ]; then extra=(-pool-workers 2 -pool-stale 5s); fi
+  coord_skew "$tmp/skew_$launch" "$tmp/skew_$launch.jsonl" \
+    -coordinate-launch "$launch" -coordinate-balance cost -coordinate-steal 4 \
+    -coordinate-calibration CALIBRATION.json "${extra[@]}"
+done
+if ! grep -q 'calibration loaded from CALIBRATION.json' "$tmp/skew_stderr.log"; then
+  echo "FAIL: the coordinator never loaded CALIBRATION.json back (round trip broken):" >&2
+  cat "$tmp/skew_stderr.log" >&2
+  exit 1
+fi
+# Injected crash while stealing: chunk 1's first attempt dies; the retry
+# must converge on identical bytes.
+echo '{"events":[{"op":"crash","shard":1,"attempt":1}]}' > "$tmp/skew_crash.json"
+# Subshell: an env assignment prefixed to a *function* call would persist in
+# this shell and poison every later run.
+(
+  export IVLIW_FAULT_PLAN="$tmp/skew_crash.json"
+  coord_skew "$tmp/skew_crash" "$tmp/skew_crash.jsonl" \
+    -coordinate-launch exec -coordinate-balance cost -coordinate-steal 4 \
+    -coordinate-calibration CALIBRATION.json -coordinate-backoff 50ms
+)
+if ! grep -q 'fault: crash' "$tmp/skew_stderr.log"; then
+  echo "FAIL: the skew crash plan never fired:" >&2
+  cat "$tmp/skew_stderr.log" >&2
+  exit 1
+fi
+# A corrupt calibration must degrade to the default model with a warning —
+# and still stitch identical bytes.
+echo '{"clusters": [], "broken' > "$tmp/corrupt_cal.json"
+coord_skew "$tmp/skew_corrupt" "$tmp/skew_corrupt.jsonl" \
+  -coordinate-launch inproc -coordinate-balance cost \
+  -coordinate-calibration "$tmp/corrupt_cal.json"
+if ! grep -q 'unusable.*default cost model' "$tmp/skew_stderr.log"; then
+  echo "FAIL: corrupt calibration did not degrade with a warning:" >&2
+  cat "$tmp/skew_stderr.log" >&2
+  exit 1
+fi
+# The perf gate. This container may have a single CPU, so end-to-end wall
+# time of concurrent workers only measures time-slicing; instead, serialize
+# launches (-coordinate-parallel 1) for contention-free per-chunk wall
+# times from the manifest, then compute each policy's 2-worker makespan by
+# replaying exactly the coordinator's schedule (static cuts: one shard per
+# worker; stealing: heaviest-first claim by the next idle worker). That
+# makespan is the wall time of any machine with >= 2 free cores.
+makespan() { # manifest_file workers
+  grep -o '"wall_ms": [0-9]*' "$1" | awk -v W="$2" '
+    { w[n++] = $2 }
+    END {
+      for (i = 0; i < n; i++)
+        for (j = i + 1; j < n; j++)
+          if (w[j] > w[i]) { t = w[i]; w[i] = w[j]; w[j] = t }
+      for (k = 0; k < W; k++) load[k] = 0
+      for (i = 0; i < n; i++) {
+        m = 0
+        for (k = 1; k < W; k++) if (load[k] < load[m]) m = k
+        load[m] += w[i]
+      }
+      best = 0
+      for (k = 0; k < W; k++) if (load[k] > best) best = load[k]
+      print best
+    }'
+}
+for mode in count cost steal; do
+  case $mode in
+    count) flags=(-coordinate-balance count) ;;
+    cost)  flags=(-coordinate-balance cost -coordinate-calibration CALIBRATION.json) ;;
+    steal) flags=(-coordinate-balance cost -coordinate-steal 4 -coordinate-calibration CALIBRATION.json) ;;
+  esac
+  coord_skew "$tmp/skew_t_$mode" "$tmp/skew_t_$mode.jsonl" \
+    -coordinate-launch exec -coordinate-parallel 1 "${flags[@]}"
+done
+count_ms=$(makespan "$tmp/skew_t_count/manifest.json" 2)
+cost_ms=$(makespan "$tmp/skew_t_cost/manifest.json" 2)
+steal_ms=$(makespan "$tmp/skew_t_steal/manifest.json" 2)
+if [ "$(( count_ms * 10 ))" -lt "$(( steal_ms * 15 ))" ]; then
+  echo "FAIL: cost+stealing makespan ${steal_ms}ms is not >= 1.5x better than count-balanced ${count_ms}ms" >&2
+  exit 1
+fi
+echo "cost+steal byte-identical (inproc/exec/pool; 1 injected crash; corrupt calibration degraded)"
+echo "2-worker makespan: count ${count_ms}ms, cost ${cost_ms}ms, cost+steal ${steal_ms}ms"
+awk -v count_ms="$count_ms" -v cost_ms="$cost_ms" -v steal_ms="$steal_ms" \
+    -v calibrate_ns="$calibrate_ns" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" 'BEGIN {
+  printf "{\n"
+  printf "  \"snapshot\": 8,\n"
+  printf "  \"date\": \"%s\",\n", date
+  printf "  \"go\": \"%s\",\n", gover
+  printf "  \"grid\": \"clusters 2,8 x cache 4,8KB x AB 0,16 x jpegenc,g721dec (16 rows, 4 compile-key atoms)\",\n"
+  printf "  \"count_makespan_ms\": %d,\n", count_ms
+  printf "  \"cost_makespan_ms\": %d,\n", cost_ms
+  printf "  \"steal_makespan_ms\": %d,\n", steal_ms
+  printf "  \"steal_vs_count_speedup\": %.2f,\n", count_ms / steal_ms
+  printf "  \"calibrate_seconds\": %.3f\n", calibrate_ns / 1e9
+  printf "}\n"
+}' > BENCH_8.json
+echo "snapshot written to BENCH_8.json:"
+cat BENCH_8.json
 
 echo "CI PASS"

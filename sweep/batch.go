@@ -1,7 +1,7 @@
 package sweep
 
 import (
-	"sync"
+	"sort"
 	"sync/atomic"
 
 	"ivliw/internal/experiments"
@@ -12,11 +12,17 @@ import (
 // simBatch is one group of sibling cells: the same benchmark under machine
 // points sharing a compile key, so every lane consumes the same artifact
 // and one batched simulation pass (pipeline.SimulateBatch) produces all
-// their rows. The batch computes once — whichever worker reaches one of its
-// cells first runs it; workers on sibling cells block on the Once and then
-// read their lane's row.
+// their rows. The batch computes once — whichever worker claims it runs
+// it; workers on sibling cells help-steal other batches (heaviest first)
+// while they wait, then read their lane's row once done closes.
 type simBatch struct {
-	once  sync.Once
+	claimed atomic.Bool
+	done    chan struct{}
+	// first is the shard-relative index of the batch's first cell (bounds
+	// the help window); cost is the predicted price of the batch, which
+	// orders help-stealing heaviest-first.
+	first int
+	cost  float64
 	vs    []experiments.Variant
 	bench workload.BenchSpec
 	rows  []Row
@@ -24,9 +30,15 @@ type simBatch struct {
 
 // batchPlan maps each of a shard's cells to its sibling batch and lane.
 // Planning is an index-space pass (no simulation); it is the one
-// shard-rows-proportional allocation of a batched run, 16 bytes per cell.
+// shard-rows-proportional allocation of a batched run.
 type batchPlan struct {
 	cells []plannedCell
+	// byCost lists every batch heaviest-first — the help-steal order: a
+	// worker waiting on a batch someone else is computing claims the most
+	// expensive unstarted batch in its window instead of idling, so the
+	// priciest simulation passes start earliest and never queue behind
+	// cheap ones at the tail of the shard.
+	byCost []*simBatch
 	// batches and laneCells count the batches actually computed and the
 	// cells they covered, for Stats (equal to the plan's totals when the
 	// run completes; smaller after a cancellation).
@@ -39,6 +51,12 @@ type plannedCell struct {
 	lane int
 }
 
+// helpCellWindow bounds how far past its own cell a waiting worker may
+// help-steal batch computations: batches whose first cell lies beyond
+// i+helpCellWindow are left alone, keeping the set of computed-but-not-yet-
+// emitted rows (and thus memory) bounded like the reorder window itself.
+const helpCellWindow = 1024
+
 // planBatches groups the shard's cells [lo, hi) into sibling batches of at
 // most max lanes: cells join a batch when they name the same benchmark and
 // their points share a compile key (which subsumes pipeline.SimKey — every
@@ -46,8 +64,10 @@ type plannedCell struct {
 // simulate-only axes and are exact lanes of one SimulateBatch call.
 // Grid order is preserved per cell — only the computation is shared — so
 // emission through the reorder window is byte-identical to the unbatched
-// path.
-func planBatches(points []experiments.Variant, benches []workload.BenchSpec, lo, hi, max int) *batchPlan {
+// path. costs, when non-nil, prices row c of the full grid at costs[c];
+// batch prices (the sum over member cells) order help-stealing. A nil
+// costs prices batches by lane count.
+func planBatches(points []experiments.Variant, benches []workload.BenchSpec, lo, hi, max int, costs []float64) *batchPlan {
 	p := &batchPlan{cells: make([]plannedCell, hi-lo)}
 	nb := len(benches)
 	type groupKey struct {
@@ -66,22 +86,72 @@ func planBatches(points []experiments.Variant, benches []workload.BenchSpec, lo,
 		gk := groupKey{bench: bi, key: k}
 		b := open[gk]
 		if b == nil || len(b.vs) >= max {
-			b = &simBatch{bench: benches[bi]}
+			b = &simBatch{bench: benches[bi], done: make(chan struct{}), first: c - lo}
 			open[gk] = b
+			p.byCost = append(p.byCost, b)
+		}
+		if costs != nil {
+			b.cost += costs[c]
+		} else {
+			b.cost++
 		}
 		p.cells[c-lo] = plannedCell{b: b, lane: len(b.vs)}
 		b.vs = append(b.vs, points[pi])
 	}
+	sort.SliceStable(p.byCost, func(a, b int) bool { return p.byCost[a].cost > p.byCost[b].cost })
 	return p
 }
 
-// row returns cell i's row, computing its whole batch on first use.
+// compute runs one batch's simulation pass and publishes its rows. Callers
+// must have won the batch's claim.
+func (p *batchPlan) compute(b *simBatch, st pipeline.Store) {
+	b.rows = cellBatch(b.vs, b.bench, st)
+	p.batches.Add(1)
+	p.laneCells.Add(int64(len(b.vs)))
+	close(b.done)
+}
+
+// row returns cell i's row. The first worker to reach any cell of a batch
+// claims and computes it; a worker arriving while another holds the claim
+// help-steals other batches (heaviest first, within the help window of
+// its own cell) until its batch's rows are published — idle-wait becomes
+// forward progress, with the priciest passes pulled earliest.
 func (p *batchPlan) row(i int, st pipeline.Store) Row {
 	pc := p.cells[i]
-	pc.b.once.Do(func() {
-		pc.b.rows = cellBatch(pc.b.vs, pc.b.bench, st)
-		p.batches.Add(1)
-		p.laneCells.Add(int64(len(pc.b.vs)))
-	})
+	if pc.b.claimed.CompareAndSwap(false, true) {
+		p.compute(pc.b, st)
+	} else {
+		p.help(pc.b, i, st)
+	}
 	return pc.b.rows[pc.lane]
+}
+
+// help computes other claimable batches while waiting for b's rows. Only
+// batches whose first cell lies within the help window of cell i are
+// candidates, scanned heaviest-first; when none is claimable the worker
+// blocks on b — its computer will close done, and cycles are impossible
+// because computers never wait on anything.
+func (p *batchPlan) help(b *simBatch, i int, st pipeline.Store) {
+	for {
+		select {
+		case <-b.done:
+			return
+		default:
+		}
+		var next *simBatch
+		for _, cand := range p.byCost {
+			if cand.first > i+helpCellWindow {
+				continue
+			}
+			if cand.claimed.CompareAndSwap(false, true) {
+				next = cand
+				break
+			}
+		}
+		if next == nil {
+			<-b.done
+			return
+		}
+		p.compute(next, st)
+	}
 }

@@ -7,9 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,28 +57,71 @@ type CoordinatorOptions struct {
 	// Seed feeds the retry jitter; identical (Seed, shard, attempt)
 	// triples always wait identically, keeping runs reproducible.
 	Seed uint64
+	// Balance selects the shard-cut policy: BalanceCount ("" or "count",
+	// the default) keeps the historical contiguous count-balanced
+	// Shard.Range cuts; BalanceCost ("cost") cuts at equal predicted cost
+	// under the cost model (see Calibration), aligned to compile-key atom
+	// boundaries so no artifact is compiled by two shard processes.
+	Balance string
+	// Calibration, when non-empty, names a calibration JSON file (see
+	// Calibrate/SaveCalibration) loaded for the cost model. A missing or
+	// corrupt file degrades to the built-in DefaultCalibration with a
+	// logged warning, never a failure. Ignored when no cost model is in
+	// play (Balance count, Steal 0).
+	Calibration string
+	// Steal enables work stealing: instead of Shards static slices the
+	// grid is cut into up to Steal×Shards cost-balanced chunks (still at
+	// compile-key atoms — the chunk count is capped by the atom count),
+	// queued heaviest-first, and the Parallel worker slots claim the next
+	// chunk as each goes idle. A worker stuck on a heavy chunk keeps it
+	// while idle peers drain the queue, so stragglers shed their tail
+	// instead of being speculatively twinned. 0 disables stealing.
+	Steal int
 	// Log receives progress lines (retries, stragglers, resume notes);
 	// nil discards them.
 	Log func(format string, args ...any)
 }
 
+// Balance policies for CoordinatorOptions.Balance.
+const (
+	BalanceCount = "count"
+	BalanceCost  = "cost"
+)
+
 // CoordinatorStats summarizes a coordinated run.
 type CoordinatorStats struct {
-	// Shards is the total shard count; Resumed of them were restored from
-	// the manifest without relaunching.
+	// Shards is the configured shard (worker) count; Resumed counts range
+	// tasks restored from the manifest without relaunching.
 	Shards, Resumed int
+	// Tasks is the number of range tasks the grid was cut into: Shards
+	// under static balancing, up to Steal×Shards chunks when stealing.
+	// Empty of them were zero-row ranges committed directly — no worker
+	// is ever launched for an empty shard.
+	Tasks, Empty int
 	// Launches counts shard attempts started this run; Retries of them
 	// followed a failed attempt and Stragglers were speculative backups of
 	// attempts past the StragglerAfter deadline.
 	Launches, Retries, Stragglers int
 	// Rows is the row count of the stitched output.
 	Rows int
+	// SlowestTask identifies the winning attempt with the longest wall
+	// time this run — the skew post-mortem in one line. Zero-valued when
+	// nothing was launched (a pure resume).
+	SlowestTask        int
+	SlowestWall        time.Duration
+	SlowestCellsPerSec float64
 }
 
-// Coordinate runs spec as opts.Shards cooperating shard runs and stitches
-// their outputs into the spec's Output.Path (stdout when empty), byte-
-// identical to the unsharded run. Failed attempts are retried and
-// stragglers optionally relaunched, within per-shard attempt caps; every
+// Coordinate runs spec as cooperating shard runs and stitches their
+// outputs into the spec's Output.Path (stdout when empty), byte-identical
+// to the unsharded run. The grid is cut into range tasks — opts.Shards
+// count-balanced slices by default, equal-predicted-cost slices under
+// Balance "cost", or up to Steal×Shards cost-ordered chunks claimed
+// dynamically by idle workers when stealing is on; every cut policy
+// preserves byte-identity by construction, since rows stay keyed by grid
+// index and the stitcher emits ranges in index order regardless of who
+// computed them. Failed attempts are retried and stragglers optionally
+// relaunched, within per-shard attempt caps; every
 // shard-state transition is committed to an atomically rewritten manifest
 // in the work directory, so a coordinator killed at any point — including
 // mid-write, since shard outputs only appear via whole-file renames —
@@ -91,11 +137,23 @@ func Coordinate(ctx context.Context, spec Spec, opts CoordinatorOptions) (Coordi
 	if opts.Shards < 1 {
 		return CoordinatorStats{}, fmt.Errorf("sweep: coordinator needs >= 1 shards, got %d", opts.Shards)
 	}
-	if spec.Shard.Count > 1 || spec.Shard.Index != 0 {
-		return CoordinatorStats{}, fmt.Errorf("sweep: the coordinator owns sharding; clear Spec.Shard (got %d/%d)",
-			spec.Shard.Index, spec.Shard.Count)
+	if spec.Shard.Count > 1 || spec.Shard.Index != 0 || spec.Shard.Hi > spec.Shard.Lo {
+		return CoordinatorStats{}, fmt.Errorf("sweep: the coordinator owns sharding; clear Spec.Shard (got %d/%d [%d:%d))",
+			spec.Shard.Index, spec.Shard.Count, spec.Shard.Lo, spec.Shard.Hi)
 	}
-	if err := spec.Validate(); err != nil {
+	switch opts.Balance {
+	case "", BalanceCount, BalanceCost:
+	default:
+		return CoordinatorStats{}, fmt.Errorf("sweep: unknown balance policy %q (want %q or %q)",
+			opts.Balance, BalanceCount, BalanceCost)
+	}
+	if opts.Steal < 0 {
+		return CoordinatorStats{}, fmt.Errorf("sweep: steal granularity must be >= 0, got %d", opts.Steal)
+	}
+	// Resolving (rather than just validating) exposes the row grid the cut
+	// planner needs; for plain count balancing only the row count is used.
+	opt, benches, err := spec.resolve()
+	if err != nil {
 		return CoordinatorStats{}, err
 	}
 	if opts.MaxAttempts <= 0 {
@@ -109,6 +167,50 @@ func Coordinate(ctx context.Context, spec Spec, opts CoordinatorOptions) (Coordi
 	}
 	if opts.Log == nil {
 		opts.Log = func(string, ...any) {}
+	}
+
+	// Cut the grid into range tasks. Count balancing reproduces
+	// Shard.Range arithmetic exactly; the cost policies price every row
+	// under the (possibly calibrated) model and cut at equal predicted
+	// cost, only ever on compile-key atom boundaries. Stealing cuts
+	// finer — up to Steal chunks per worker — and relies on runAll's
+	// claim queue to assign them dynamically.
+	points := spec.Grid.points(opt)
+	n := len(points) * len(benches)
+	var tasks []rowRange
+	var taskCost []float64
+	pinned := false
+	if opts.Balance == BalanceCost || opts.Steal > 0 {
+		cal := DefaultCalibration()
+		if opts.Calibration != "" {
+			if loaded, lerr := LoadCalibration(opts.Calibration); lerr != nil {
+				opts.Log("coordinator: calibration %s unusable (%v); using the default cost model", opts.Calibration, lerr)
+			} else {
+				cal = loaded
+				opts.Log("coordinator: calibration loaded from %s", opts.Calibration)
+			}
+		}
+		gc := newCostModel(cal).gridCosts(points, benches, spec.SimBatch)
+		k := opts.Shards
+		if opts.Steal > 0 {
+			k = opts.Steal * opts.Shards
+			if k > len(gc.atoms) {
+				k = len(gc.atoms) // never cut inside a compile-key atom
+			}
+			if k < 1 {
+				k = 1
+			}
+		}
+		tasks = costCuts(gc, n, k)
+		taskCost = make([]float64, len(tasks))
+		for i, t := range tasks {
+			for c := t.lo; c < t.hi; c++ {
+				taskCost[i] += gc.rows[c]
+			}
+		}
+		pinned = true
+	} else {
+		tasks = countCuts(n, opts.Shards)
 	}
 
 	dir := opts.Dir
@@ -150,17 +252,40 @@ func Coordinate(ctx context.Context, spec Spec, opts CoordinatorOptions) (Coordi
 		removeStaleTemps(filepath.Dir(spec.Output.Path), filepath.Base(spec.Output.Path))
 	}
 
-	mf, resumed, err := openManifest(dir, hash, opts.Shards)
+	mf, resumed, err := openManifest(dir, hash, tasks)
 	if err != nil {
 		return CoordinatorStats{}, err
 	}
 	if resumed > 0 {
-		opts.Log("coordinator: resuming %d/%d completed shards from %s", resumed, opts.Shards, dir)
+		opts.Log("coordinator: resuming %d/%d completed shards from %s", resumed, len(tasks), dir)
 	}
 
-	c := &coordinator{spec: spec, opts: opts, dir: dir, specPath: specPath, mf: mf}
+	c := &coordinator{spec: spec, opts: opts, dir: dir, specPath: specPath, mf: mf,
+		tasks: tasks, taskCost: taskCost, pinned: pinned}
 	c.stats.Shards = opts.Shards
+	c.stats.Tasks = len(tasks)
 	c.stats.Resumed = resumed
+
+	// Zero-row ranges need no worker: commit their empty outputs directly
+	// and mark them done, so a shard count above the row count (or a heavy
+	// atom swallowing a cut's whole cost share) never launches a process
+	// just to produce an empty file.
+	for i, t := range c.tasks {
+		if t.lo != t.hi || c.mf.state(i).Status == shardDone {
+			continue
+		}
+		if err := writeFileAtomic(filepath.Join(dir, shardFileName(i)), nil); err != nil {
+			return c.stats, fmt.Errorf("sweep: coordinator: %w", err)
+		}
+		if err := c.mf.update(i, func(s *shardState) { s.Status = shardDone }); err != nil {
+			return c.stats, err
+		}
+		c.stats.Empty++
+	}
+	if c.stats.Empty > 0 {
+		opts.Log("coordinator: %d empty shards committed without launching", c.stats.Empty)
+	}
+
 	if err := c.runAll(ctx); err != nil {
 		return c.stats, err
 	}
@@ -179,6 +304,14 @@ type coordinator struct {
 	dir      string
 	specPath string
 	mf       *manifest
+	// tasks are the planned row ranges, one per manifest shard; taskCost
+	// prices them (nil without a cost model) and orders the claim queue;
+	// pinned records whether ranges are explicit (cost cuts, stolen
+	// chunks) and must ride the -claim protocol rather than being
+	// re-derived from Index/Count arithmetic.
+	tasks    []rowRange
+	taskCost []float64
+	pinned   bool
 
 	mu    sync.Mutex
 	stats CoordinatorStats
@@ -191,11 +324,17 @@ func (c *coordinator) count(fn func(*CoordinatorStats)) {
 	c.mu.Unlock()
 }
 
-// shardSpec derives shard i's spec: the base run, pinned to slice i/n and
-// to its canonical output file in the coordinator directory.
+// shardSpec derives shard i's spec: the base run, pinned to its slice of
+// the grid and to its canonical output file in the coordinator directory.
+// Count-balanced slices stay implicit (Index/Count arithmetic recomputes
+// them in the worker); cost-balanced cuts and stolen chunks pin the
+// explicit range, which Exec forwards as -claim.
 func (c *coordinator) shardSpec(i int) Spec {
 	s := c.spec
-	s.Shard = Shard{Index: i, Count: c.opts.Shards}
+	s.Shard = Shard{Index: i, Count: len(c.tasks)}
+	if c.pinned {
+		s.Shard.Lo, s.Shard.Hi = c.tasks[i].lo, c.tasks[i].hi
+	}
 	s.Output = Output{Path: filepath.Join(c.dir, shardFileName(i))}
 	// Heartbeats are per-attempt: a health-checking launcher (the pool)
 	// assigns its own beat files; a plain launcher runs without them.
@@ -203,41 +342,59 @@ func (c *coordinator) shardSpec(i int) Spec {
 	return s
 }
 
-// runAll drives every non-resumed shard to done under the Parallel bound.
-// A shard that exhausts its attempts fails the run, but deliberately does
-// not cancel its siblings: every shard that still completes commits its
-// output to the manifest, so the retry of a partially-failed run (same
-// Dir, perhaps after fixing a bad host) resumes everything but the broken
-// shard. Only a canceled ctx tears the whole run down.
+// runAll drives every non-resumed task to done: pending tasks form a
+// shared queue — ordered heaviest-first whenever a cost model priced them
+// — and opts.Parallel worker slots claim the next task as each goes idle.
+// That claim loop is the work-stealing half of cost-aware scheduling: a
+// slot stuck on a heavy chunk keeps it while idle slots drain the rest of
+// the queue, so a straggling range delays the run by at most its own
+// length instead of its whole static shard. A task that exhausts its
+// attempts fails the run, but deliberately does not cancel its siblings:
+// every task that still completes commits its output to the manifest, so
+// the retry of a partially-failed run (same Dir, perhaps after fixing a
+// bad host) resumes everything but the broken range. Only a canceled ctx
+// tears the whole run down.
 func (c *coordinator) runAll(ctx context.Context) error {
-	sem := make(chan struct{}, c.opts.Parallel)
+	var order []int
+	for i := range c.tasks {
+		if c.mf.state(i).Status != shardDone {
+			order = append(order, i)
+		}
+	}
+	if c.taskCost != nil {
+		sort.SliceStable(order, func(a, b int) bool {
+			return c.taskCost[order[a]] > c.taskCost[order[b]]
+		})
+	}
+	workers := c.opts.Parallel
+	if workers > len(order) {
+		workers = len(order)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
-	for i := 0; i < c.opts.Shards; i++ {
-		if c.mf.state(i).Status == shardDone {
-			continue
-		}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-				defer func() { <-sem }()
-			case <-ctx.Done():
-				return
-			}
-			if err := c.runShard(ctx, i); err != nil {
-				mu.Lock()
-				// Keep the most informative error: a shard's real failure
-				// beats the context errors a cancellation causes in its
-				// siblings.
-				if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
-					firstErr = err
+			for ctx.Err() == nil {
+				k := int(next.Add(1)) - 1
+				if k >= len(order) {
+					return
 				}
-				mu.Unlock()
+				if err := c.runShard(ctx, order[k]); err != nil {
+					mu.Lock()
+					// Keep the most informative error: a shard's real
+					// failure beats the context errors a cancellation
+					// causes in its siblings.
+					if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
 			}
-		}(i)
+		}()
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -246,10 +403,12 @@ func (c *coordinator) runAll(ctx context.Context) error {
 	return firstErr
 }
 
-// attemptResult pairs a finished attempt's number with its outcome, so the
-// coordinator can attribute the result to the right history record.
+// attemptResult pairs a finished attempt's number with its outcome and
+// measured wall time, so the coordinator can attribute the result — and
+// its throughput — to the right history record.
 type attemptResult struct {
 	attempt int
+	wall    time.Duration
 	err     error
 }
 
@@ -298,7 +457,11 @@ func (c *coordinator) runShard(ctx context.Context, idx int) error {
 		// above must not leave the drain loop waiting on a send that will
 		// never come.
 		inFlight++
-		go func() { results <- attemptResult{attempt, c.opts.Launcher.Launch(sctx, t)} }()
+		go func() {
+			start := time.Now()
+			err := c.opts.Launcher.Launch(sctx, t)
+			results <- attemptResult{attempt, time.Since(start), err}
+		}()
 		return nil
 	}
 	if err := launch(); err != nil {
@@ -343,10 +506,25 @@ func (c *coordinator) runShard(ctx context.Context, idx int) error {
 			if err == nil {
 				// Straggler twins, if any, lose; the deferred drain reaps
 				// them. The winner's worker (if a placement-aware launcher
-				// reported one) is promoted to the shard record.
+				// reported one) is promoted to the shard record, and the
+				// attempt's measured wall time and throughput land in its
+				// history — the raw data calibrations and slow-worker
+				// post-mortems read.
+				rows := c.tasks[idx].hi - c.tasks[idx].lo
+				cps := 0.0
+				if res.wall > 0 {
+					cps = math.Round(float64(rows)/res.wall.Seconds()*10) / 10
+				}
+				c.count(func(st *CoordinatorStats) {
+					if res.wall > st.SlowestWall {
+						st.SlowestTask, st.SlowestWall, st.SlowestCellsPerSec = idx, res.wall, cps
+					}
+				})
 				return c.mf.update(idx, func(s *shardState) {
 					s.Status = shardDone
-					s.Worker = s.record(res.attempt).Worker
+					r := s.record(res.attempt)
+					r.WallMS, r.Rows, r.CellsPerSec = res.wall.Milliseconds(), rows, cps
+					s.Worker = r.Worker
 				})
 			}
 			if ctx.Err() != nil {
@@ -359,7 +537,10 @@ func (c *coordinator) runShard(ctx context.Context, idx int) error {
 			if len(msg) > 300 {
 				msg = msg[:297] + "..."
 			}
-			if merr := c.mf.update(idx, func(s *shardState) { s.record(res.attempt).Error = msg }); merr != nil {
+			if merr := c.mf.update(idx, func(s *shardState) {
+				r := s.record(res.attempt)
+				r.Error, r.WallMS = msg, res.wall.Milliseconds()
+			}); merr != nil {
 				return merr
 			}
 			if attempts < c.opts.MaxAttempts {
@@ -387,7 +568,7 @@ func (c *coordinator) runShard(ctx context.Context, idx int) error {
 					return merr
 				}
 				return fmt.Errorf("sweep: shard %d/%d failed after %d attempts: %w",
-					idx, c.opts.Shards, attempts, lastErr)
+					idx, len(c.tasks), attempts, lastErr)
 			}
 		case <-timerC:
 			if attempts < c.opts.MaxAttempts {
@@ -426,7 +607,7 @@ func (c *coordinator) stitch() (int, error) {
 	rows := 0
 	var err error
 	buf := make([]byte, 1<<16)
-	for i := 0; i < c.opts.Shards && err == nil; i++ {
+	for i := 0; i < len(c.tasks) && err == nil; i++ {
 		rows, err = appendFile(bw, filepath.Join(c.dir, shardFileName(i)), buf, rows)
 	}
 	if ferr := bw.Flush(); err == nil {

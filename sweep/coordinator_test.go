@@ -89,8 +89,13 @@ func TestCoordinateMatchesUnsharded(t *testing.T) {
 		if !bytes.Equal(got, ref) {
 			t.Errorf("shards=%d: stitched output differs from the unsharded run", shards)
 		}
-		if st.Rows != 4 || st.Launches != shards || st.Resumed != 0 {
-			t.Errorf("shards=%d: stats = %+v, want 4 rows, %d launches", shards, st, shards)
+		// Zero-row shards (shards > 4 rows) commit empty outputs directly
+		// and are never launched.
+		wantEmpty := max(shards-4, 0)
+		wantLaunches := shards - wantEmpty
+		if st.Rows != 4 || st.Launches != wantLaunches || st.Empty != wantEmpty || st.Resumed != 0 {
+			t.Errorf("shards=%d: stats = %+v, want 4 rows, %d launches, %d empty",
+				shards, st, wantLaunches, wantEmpty)
 		}
 	}
 }

@@ -74,9 +74,11 @@ func (InProcess) Launch(ctx context.Context, task ShardTask) error {
 }
 
 // Exec runs each shard attempt as a subprocess: Command's argv is extended
-// with `-spec <SpecPath> -shard <i>/<n> -out <Output.Path>`, the exact
-// per-worker invocation documented for multi-process sweeps, so `ivliw-bench`
-// (or any flag-compatible binary) is a worker with no extra protocol. On
+// with `-spec <SpecPath> -shard <i>/<n> -out <Output.Path>` (plus
+// `-claim <lo>:<hi>` when the coordinator pinned an explicit row range),
+// the exact per-worker invocation documented for multi-process sweeps, so
+// `ivliw-bench` (or any flag-compatible binary) is a worker with no extra
+// protocol. On
 // cancellation the subprocess gets SIGTERM and a grace period to run its
 // SIGINT-clean teardown (discard staged temps, exit 130) before SIGKILL.
 // Prefixing Command with `ssh host` turns it into a remote launcher over a
@@ -156,6 +158,12 @@ func (e Exec) Launch(ctx context.Context, task ShardTask) error {
 		"-shard", fmt.Sprintf("%d/%d", task.Spec.Shard.Index, task.Spec.Shard.Count),
 		"-out", task.Spec.Output.Path,
 	)
+	if task.Spec.Shard.Hi > task.Spec.Shard.Lo {
+		// An explicit row range (a cost-balanced cut or a stolen chunk)
+		// rides the -claim protocol; -shard stays for identity and the
+		// count-derived fallback when no range is pinned.
+		args = append(args, "-claim", fmt.Sprintf("%d:%d", task.Spec.Shard.Lo, task.Spec.Shard.Hi))
+	}
 	args = append(args, e.Extra...)
 	cmd := exec.CommandContext(ctx, e.Command[0], args...)
 	tail := &tailBuffer{max: execStderrTail}

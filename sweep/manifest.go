@@ -27,21 +27,36 @@ const (
 )
 
 // attemptRecord is the post-mortem trail of one launch: which worker the
-// attempt was assigned to (when the launcher reports one — the pool does)
-// and how it failed, if it did. The winning attempt has an empty Error.
+// attempt was assigned to (when the launcher reports one — the pool does),
+// how it failed if it did, and how long it ran. The winning attempt has an
+// empty Error; its WallMS/Rows/CellsPerSec are the measured throughput
+// that future calibrations and slow-worker post-mortems read.
 type attemptRecord struct {
 	Attempt int    `json:"attempt"`
 	Worker  string `json:"worker,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// WallMS is the attempt's wall time as the coordinator saw it (launch
+	// to completion, either outcome); Rows and CellsPerSec are filled for
+	// winning attempts only (a failed attempt produced no rows).
+	WallMS      int64   `json:"wall_ms,omitempty"`
+	Rows        int     `json:"rows,omitempty"`
+	CellsPerSec float64 `json:"cells_per_s,omitempty"`
 }
 
 // shardState is one shard's durable record: where its output lands
-// (relative to the coordinator directory), how far it has come, how many
-// attempts it has consumed, which worker served the winning attempt, and
-// the per-attempt history for post-mortem.
+// (relative to the coordinator directory), which row range it covers, how
+// far it has come, how many attempts it has consumed, which worker served
+// the winning attempt, and the per-attempt history for post-mortem.
 type shardState struct {
-	Index    int             `json:"index"`
-	Output   string          `json:"output"`
+	Index  int    `json:"index"`
+	Output string `json:"output"`
+	// Lo and Hi are the half-open row range this shard covers. They are
+	// recorded explicitly because cost-balanced cuts depend on the
+	// calibration, which may change between a run and its resume — a done
+	// shard is only trusted when its recorded range still matches the
+	// planned cut.
+	Lo       int             `json:"lo"`
+	Hi       int             `json:"hi"`
 	Status   string          `json:"status"`
 	Attempts int             `json:"attempts"`
 	Worker   string          `json:"worker,omitempty"`
@@ -98,14 +113,21 @@ func specHash(s Spec) (string, error) {
 // none exists or the existing one describes a different run (spec hash or
 // shard count mismatch) or is unreadable. Non-done states are reset to
 // pending with zeroed attempts; done shards whose output file has vanished
+// — or whose recorded row range no longer matches the planned cut (cuts
+// move when the calibration or the balance policy changes between runs) —
 // are demoted back to pending. The normalized manifest is persisted before
 // returning, and the number of shards resumed as done is reported.
-func openManifest(dir, hash string, shards int) (*manifest, int, error) {
+func openManifest(dir, hash string, cuts []rowRange) (*manifest, int, error) {
 	path := filepath.Join(dir, manifestName)
+	shards := len(cuts)
 	fresh := func() *manifest {
 		m := &manifest{SpecHash: hash, path: path}
 		for i := 0; i < shards; i++ {
-			m.Shards = append(m.Shards, shardState{Index: i, Output: shardFileName(i), Status: shardPending})
+			m.Shards = append(m.Shards, shardState{
+				Index: i, Output: shardFileName(i),
+				Lo: cuts[i].lo, Hi: cuts[i].hi,
+				Status: shardPending,
+			})
 		}
 		return m
 	}
@@ -120,11 +142,12 @@ func openManifest(dir, hash string, shards int) (*manifest, int, error) {
 				if s.Output == "" {
 					s.Output = shardFileName(i)
 				}
-				if s.Status == shardDone {
+				if s.Status == shardDone && s.Lo == cuts[i].lo && s.Hi == cuts[i].hi {
 					if _, err := os.Stat(filepath.Join(dir, s.Output)); err == nil {
 						continue
 					}
 				}
+				s.Lo, s.Hi = cuts[i].lo, cuts[i].hi
 				s.Status, s.Attempts = shardPending, 0
 				s.Worker, s.History = "", nil
 			}

@@ -87,16 +87,29 @@ type Compile struct {
 // processes: shard i evaluates the i-th contiguous slice, so the
 // concatenation of all shards' JSONL outputs, in index order, is
 // byte-identical to the unsharded run. The zero value (Count 0) means
-// unsharded.
+// unsharded. A shard may additionally claim an explicit row range — the
+// coordinator's cost-balanced cuts and work-stealing chunks are not
+// derivable from Index/Count arithmetic, so they ride along as [Lo, Hi).
 type Shard struct {
 	Index int `json:"index"`
 	Count int `json:"count"`
+	// Lo and Hi, when Hi > Lo, pin this shard's half-open row range
+	// explicitly instead of the count-derived slice — the `-claim lo:hi`
+	// protocol a coordinator uses to hand workers cost-balanced cuts and
+	// stolen chunks. Index/Count remain the shard's identity (output
+	// naming, heartbeats, logs); only the row slice is overridden.
+	Lo int `json:"lo,omitempty"`
+	Hi int `json:"hi,omitempty"`
 }
 
 // Range returns the half-open row interval [lo, hi) of this shard over an
-// n-row grid: contiguous, balanced (sizes differ by at most one), and
-// covering [0, n) exactly across shards 0..Count-1.
+// n-row grid: the explicit claim when one is pinned (clamped to the grid),
+// otherwise the i-th contiguous count-balanced slice (sizes differ by at
+// most one, covering [0, n) exactly across shards 0..Count-1).
 func (s Shard) Range(n int) (lo, hi int) {
+	if s.Hi > s.Lo {
+		return min(s.Lo, n), min(s.Hi, n)
+	}
 	if s.Count <= 1 {
 		return 0, n
 	}
@@ -112,6 +125,10 @@ func (s Shard) validate() error {
 		return fmt.Errorf("sweep: shard index %d without a shard count", s.Index)
 	case s.Count > 0 && (s.Index < 0 || s.Index >= s.Count):
 		return fmt.Errorf("sweep: shard index must be in [0, %d), got %d", s.Count, s.Index)
+	case s.Lo < 0 || s.Hi < 0:
+		return fmt.Errorf("sweep: shard claim range must be non-negative, got [%d, %d)", s.Lo, s.Hi)
+	case s.Hi < s.Lo:
+		return fmt.Errorf("sweep: shard claim range is inverted: [%d, %d)", s.Lo, s.Hi)
 	}
 	return nil
 }

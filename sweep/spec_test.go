@@ -171,4 +171,36 @@ func TestShardRange(t *testing.T) {
 	if lo, hi := (Shard{}).Range(42); lo != 0 || hi != 42 {
 		t.Errorf("zero shard = [%d, %d), want [0, 42)", lo, hi)
 	}
+	// An explicit claim range overrides the count arithmetic and clamps to
+	// the grid.
+	if lo, hi := (Shard{Index: 1, Count: 4, Lo: 3, Hi: 9}).Range(42); lo != 3 || hi != 9 {
+		t.Errorf("claimed shard = [%d, %d), want [3, 9)", lo, hi)
+	}
+	if lo, hi := (Shard{Lo: 3, Hi: 9}).Range(5); lo != 3 || hi != 5 {
+		t.Errorf("clamped claim = [%d, %d), want [3, 5)", lo, hi)
+	}
+	// A claim range survives the spec's strict round trip.
+	spec := Spec{
+		Workloads: Workloads{Bench: []string{"gsmdec"}},
+		Shard:     Shard{Index: 1, Count: 3, Lo: 3, Hi: 9},
+	}
+	data, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shard != spec.Shard {
+		t.Errorf("shard round trip = %+v, want %+v", back.Shard, spec.Shard)
+	}
+	// Malformed claim ranges are rejected.
+	for _, bad := range []Shard{{Lo: -1, Hi: 2}, {Lo: 4, Hi: 2}} {
+		s := spec
+		s.Shard = bad
+		if err := s.Validate(); err == nil {
+			t.Errorf("shard %+v validated, want an error", bad)
+		}
+	}
 }

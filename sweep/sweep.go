@@ -149,7 +149,11 @@ func Run(ctx context.Context, spec Spec, sink Sink) (Stats, error) {
 	// identical bytes either way.
 	var plan *batchPlan
 	if spec.SimBatch > 1 {
-		plan = planBatches(points, benches, lo, hi, spec.SimBatch)
+		// Price rows under the built-in default model so the plan can
+		// order help-stealing heaviest-first — relative order is all that
+		// matters inside one process, so no calibration file is needed.
+		gc := newCostModel(DefaultCalibration()).gridCosts(points, benches, spec.SimBatch)
+		plan = planBatches(points, benches, lo, hi, spec.SimBatch, gc.rows)
 	}
 	err = streamCells(ctx, hi-lo, spec.Workers,
 		func(i int) (Row, error) {
