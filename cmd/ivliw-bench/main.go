@@ -21,6 +21,7 @@
 //	ivliw-bench -spec run.json [-shard i/n] [-claim lo:hi] [-artifact-dir DIR]
 //	            [-sim-batch 8] [-out shard.jsonl]
 //	ivliw-bench -spec run.json -calibrate calibration.json
+//	ivliw-bench -spec run.json -spec-hash
 //	ivliw-bench -spec run.json -coordinate 3 [-coordinate-dir DIR]
 //	            [-coordinate-launch exec|inproc|pool] [-coordinate-attempts 3]
 //	            [-coordinate-straggler 90s] [-coordinate-backoff 250ms]
@@ -137,6 +138,7 @@ func main() {
 	calibrate := flag.String("calibrate", "", "probe this machine's compile/simulate costs over the spec's cluster axis and write the calibration JSON to this file (no sweep rows are produced)")
 	specPath := flag.String("spec", "", "run the sweep described by this spec file (JSON, see -spec-out) instead of the -sweep-* flags")
 	specOut := flag.String("spec-out", "", "write the sweep spec as JSON to this file and exit without running")
+	specHash := flag.Bool("spec-hash", false, "print the spec's semantic hash — the dedup/job key ivliw-served uses — and exit without running")
 	out := flag.String("out", "", "write sweep JSONL rows to this file instead of stdout")
 	coordinate := flag.Int("coordinate", 0, "run the sweep as this many coordinated shards: launch, retry, resume, stitch (0: off)")
 	coordDir := flag.String("coordinate-dir", "", "coordinator work dir (manifest + shard outputs); reuse it to resume a killed run (default: fresh temp dir)")
@@ -250,7 +252,16 @@ func main() {
 		}
 	}
 
-	if *sweepMode || *specPath != "" || *specOut != "" || *coordinate > 0 || *calibrate != "" {
+	if *specHash {
+		// Hashing is read-only: flags that run, shard or redirect a sweep
+		// have nothing to act on.
+		for _, name := range []string{"spec-out", "calibrate", "coordinate", "shard", "claim", "out"} {
+			if set[name] {
+				usageErr("-%s cannot be combined with -spec-hash", name)
+			}
+		}
+	}
+	if *sweepMode || *specPath != "" || *specOut != "" || *coordinate > 0 || *calibrate != "" || *specHash {
 		if set["exp"] {
 			usageErr("-exp cannot be combined with -sweep/-spec/-spec-out")
 		}
@@ -335,6 +346,21 @@ func main() {
 		}
 		if set["heartbeat-interval"] {
 			spec.Heartbeat.IntervalMS = int(heartbeatInterval.Milliseconds())
+		}
+		if *specHash {
+			// The semantic fingerprint over grid/workloads/compile — the
+			// job ID an ivliw-served submission of this spec would get, so
+			// clients can predict dedup keys offline. Validate first: a
+			// hash of an unrunnable spec keys nothing.
+			if err := spec.Validate(); err != nil {
+				log.Fatal(err)
+			}
+			hash, err := spec.Hash()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(hash)
+			return
 		}
 		if *specOut != "" {
 			// Validate before writing: a captured spec file must be

@@ -166,6 +166,45 @@
 // cells/s, which is both the coordinator's slowest-task stats line and the
 // raw material for recalibration.
 //
+// # Sweep as a service
+//
+// ivliw/sweep/serve turns the sweep engine into a long-running platform:
+// `ivliw-served` is an HTTP/JSON daemon that accepts sweep.Spec
+// submissions (POST /v1/jobs, strict-parsed with a bounded body), executes
+// them through sweep.Coordinate on a bounded job queue with configurable
+// executor slots and launcher (inproc/exec/pool), and serves job status
+// (GET /v1/jobs/{job}: state, coordinator stats, per-shard attempt history
+// from the manifest) and result rows (GET /v1/jobs/{job}/rows) — the
+// streamed JSONL is byte-identical to the unsharded CLI run of the same
+// spec, because it is the coordinator's stitched output served verbatim.
+//
+// The dedup contract: a job's identity is its spec's semantic hash
+// (sweep.Spec.Hash — grid, workloads and compile options; per-process
+// knobs like workers, stores, sharding and output naming are excluded), so
+// two identical submissions cost one execution. A concurrent duplicate
+// attaches to the in-flight job (job-level single-flight, mirroring
+// pipeline.Cache's artifact-level one), a duplicate of a completed job is
+// served from the per-job results directory with zero executions, and a
+// resubmission of a failed job requeues it. `ivliw-bench -spec-hash`
+// prints the hash so clients can predict dedup keys offline. Two
+// *different* specs declaring the same Output.Path are rejected at
+// submission (409): results are stored per job under <dir>/jobs/<hash>,
+// never at client-named paths, and the collision is almost always a bug.
+//
+// The lifecycle is crash-safe end to end: each job directory holds the
+// canonical spec, an atomically rewritten state record
+// (queued/running/done/failed), the committed rows and the coordinator's
+// own manifest; jobs share one content-addressed artifact store. SIGTERM
+// drains gracefully — running jobs tear down through the existing
+// context-cancellation path and are persisted back to queued, new
+// submissions get 503 + Retry-After — and a restarted daemon over the same
+// directory resumes requeued jobs from their coordinator manifests instead
+// of recomputing completed shards. `ivliw-load` replays seeded mixes of
+// duplicate/distinct submissions against the daemon and reports p50/p99
+// submit-to-done latency, throughput and dedup hit rate (BENCH_9.json;
+// gated with byte-identity and zero-execution dedup by scripts/ci.sh
+// step 11).
+//
 // # Pipeline stages
 //
 // Compilation and simulation are two explicit stages with a serializable

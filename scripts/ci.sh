@@ -50,6 +50,15 @@
 #      per-chunk wall times, scheduled exactly as the claim queue does) must
 #      beat count-balanced static shards by >= 1.5x at 2 workers; the
 #      measured makespans land in BENCH_8.json
+#  11. sweep as a service: start `ivliw-served` (exec launcher, worker
+#      subprocesses), submit the default spec over HTTP with `ivliw-load
+#      -submit`, gate the streamed JSONL byte-identical to the direct CLI
+#      run, gate dedup (a second identical submission reports cached=true
+#      and the server's execution counter does not move), replay >= 1000
+#      overlapping seeded submissions with `ivliw-load` (every duplicate
+#      must dedup: executions == distinct specs, zero failures), gate the
+#      SIGTERM drain, and write the p50/p99/throughput/dedup-rate snapshot
+#      to BENCH_9.json
 #
 # Usage: scripts/ci.sh
 # To refresh the golden transcript after an *intentional* output change:
@@ -58,18 +67,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
+served_pid=""
+trap 'if [ -n "$served_pid" ]; then kill "$served_pid" 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT
 
-echo "== 1/10 go build ./... =="
+echo "== 1/11 go build ./... =="
 go build ./...
 
-echo "== 2/10 go vet ./... =="
+echo "== 2/11 go vet ./... =="
 go vet ./...
 
-echo "== 3/10 go test -race ./... =="
+echo "== 3/11 go test -race ./... =="
 go test -race ./...
 
-echo "== 4/10 paper-output byte identity (ivliw-bench -exp all) =="
+echo "== 4/11 paper-output byte identity (ivliw-bench -exp all) =="
 go build -o "$tmp/ivliw-bench" ./cmd/ivliw-bench
 "$tmp/ivliw-bench" -exp all > "$tmp/exp_all.txt"
 if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
@@ -79,7 +89,7 @@ if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
 fi
 echo "byte-identical"
 
-echo "== 5/10 sweep determinism across workers and compile cache =="
+echo "== 5/11 sweep determinism across workers and compile cache =="
 # run_sweep keeps stderr (cache-stats noise, but also any crash) in a log
 # that is replayed if the invocation fails.
 run_sweep() { # out_file, args...
@@ -119,7 +129,7 @@ if [ "$rows" -lt 12 ]; then
 fi
 echo "deterministic ($rows rows; workers 1/8 × cache on/off × stdout/-out)"
 
-echo "== 6/10 declarative specs, sharding and the disk artifact store =="
+echo "== 6/11 declarative specs, sharding and the disk artifact store =="
 # Capture the default flag grid as a spec file; running the file must be
 # byte-identical to the cache-disabled reference of step 5.
 "$tmp/ivliw-bench" -sweep -spec-out "$tmp/spec.json"
@@ -167,7 +177,7 @@ for bad in "3/3" "-1/3" "x/3" "1x3" "0/0"; do
 done
 echo "spec/shard/store byte-identical (3 shards; warm store compiles nothing)"
 
-echo "== 7/10 distributed sweep coordinator: stitch, retry, resume =="
+echo "== 7/11 distributed sweep coordinator: stitch, retry, resume =="
 # Plain coordinated run over worker subprocesses: the stitched output must
 # reproduce the cache-disabled single-process reference byte for byte.
 coord="$tmp/coord"
@@ -225,7 +235,7 @@ if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/coord_resume.jsonl"; then
 fi
 echo "coordinator byte-identical (3 worker subprocesses; 1 injected failure retried; resume launches 0)"
 
-echo "== 8/10 health-checked worker pool: heartbeats, failure domains, fault plan =="
+echo "== 8/11 health-checked worker pool: heartbeats, failure domains, fault plan =="
 now_ns() { date +%s%N; }
 # Timed plain-exec reference (fresh work dir so nothing resumes) for the
 # pool-overhead snapshot.
@@ -322,7 +332,7 @@ echo "pool byte-identical (plain, dead-worker+hang fault plan); manifest attribu
 echo "snapshot written to BENCH_6.json:"
 cat BENCH_6.json
 
-echo "== 9/10 batched simulation: -sim-batch byte-identity and scaling curve =="
+echo "== 9/11 batched simulation: -sim-batch byte-identity and scaling curve =="
 # The default grid's AB axis (0 vs 16 entries) is simulate-only, so every
 # compile key owns 2 sibling cells — batching has real lanes to merge.
 # Serial batched run: must be byte-identical to the batch-off reference.
@@ -396,7 +406,7 @@ fi
 echo "snapshot written to BENCH_7.json:"
 cat BENCH_7.json
 
-echo "== 10/10 cost-balanced scheduling + work stealing =="
+echo "== 10/11 cost-balanced scheduling + work stealing =="
 # The skew grid: the 2-cluster half compiles in milliseconds, the 8-cluster
 # half in hundreds of milliseconds (two heavy compile-key atoms, one per
 # cache geometry) — the workload shape cost-balanced cuts exist for.
@@ -531,5 +541,109 @@ awk -v count_ms="$count_ms" -v cost_ms="$cost_ms" -v steal_ms="$steal_ms" \
 }' > BENCH_8.json
 echo "snapshot written to BENCH_8.json:"
 cat BENCH_8.json
+
+echo "== 11/11 sweep as a service: ivliw-served + ivliw-load =="
+go build -o "$tmp/ivliw-served" ./cmd/ivliw-served
+go build -o "$tmp/ivliw-load" ./cmd/ivliw-load
+# Start the daemon on an ephemeral port: exec launcher over real worker
+# subprocesses of the step-4 ivliw-bench, durable state under $tmp/served.
+"$tmp/ivliw-served" -addr 127.0.0.1:0 -addr-file "$tmp/served.addr" \
+  -dir "$tmp/served" -executors 2 -launch exec -worker-bin "$tmp/ivliw-bench" \
+  2> "$tmp/served_stderr.log" &
+served_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$tmp/served.addr" ] && break
+  if ! kill -0 "$served_pid" 2>/dev/null; then
+    echo "FAIL: ivliw-served died on startup:" >&2
+    cat "$tmp/served_stderr.log" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+if [ ! -s "$tmp/served.addr" ]; then
+  echo "FAIL: ivliw-served never wrote its address file" >&2
+  cat "$tmp/served_stderr.log" >&2
+  exit 1
+fi
+served_url="http://$(cat "$tmp/served.addr")"
+# First submission: executed once, rows streamed back byte-identical to the
+# direct CLI run of the very same spec file (the step-5 reference).
+if ! "$tmp/ivliw-load" -addr "$served_url" -submit "$tmp/spec.json" \
+    -rows "$tmp/served_rows.jsonl" > "$tmp/submit1.txt" 2> "$tmp/load_stderr.log"; then
+  echo "FAIL: HTTP submission failed:" >&2
+  cat "$tmp/load_stderr.log" "$tmp/served_stderr.log" >&2
+  exit 1
+fi
+if ! grep -q 'state=done dedup=false cached=false' "$tmp/submit1.txt"; then
+  echo "FAIL: first submission was not a fresh executed job: $(cat "$tmp/submit1.txt")" >&2
+  exit 1
+fi
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/served_rows.jsonl"; then
+  echo "FAIL: served JSONL differs from the direct CLI run of the same spec" >&2
+  exit 1
+fi
+# Second identical submission: a cache hit — served from the results store,
+# rows identical, and the server's execution counter must not move.
+if ! "$tmp/ivliw-load" -addr "$served_url" -submit "$tmp/spec.json" \
+    -rows "$tmp/served_rows2.jsonl" > "$tmp/submit2.txt" 2>> "$tmp/load_stderr.log"; then
+  echo "FAIL: duplicate HTTP submission failed:" >&2
+  cat "$tmp/load_stderr.log" >&2
+  exit 1
+fi
+if ! grep -q 'state=done dedup=true cached=true' "$tmp/submit2.txt"; then
+  echo "FAIL: duplicate submission was not served from the cache: $(cat "$tmp/submit2.txt")" >&2
+  exit 1
+fi
+exec1=$(grep -o 'executions=[0-9]*' "$tmp/submit1.txt" | cut -d= -f2)
+exec2=$(grep -o 'executions=[0-9]*' "$tmp/submit2.txt" | cut -d= -f2)
+if [ "$exec1" != "$exec2" ]; then
+  echo "FAIL: duplicate submission moved the execution counter ($exec1 -> $exec2)" >&2
+  exit 1
+fi
+if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/served_rows2.jsonl"; then
+  echo "FAIL: cached rows differ from the executed rows" >&2
+  exit 1
+fi
+echo "served rows byte-identical; duplicate submission cached with zero new executions"
+# The headline replay: >= 1000 overlapping seeded submissions over a small
+# distinct population. ivliw-load exits nonzero if any submission fails;
+# every duplicate must dedup, so the execution delta equals the population.
+if ! "$tmp/ivliw-load" -addr "$served_url" -n 1000 -distinct 12 -concurrency 32 \
+    -seed 7 -out "$tmp/load.json" > /dev/null 2>> "$tmp/load_stderr.log"; then
+  echo "FAIL: ivliw-load replay failed:" >&2
+  cat "$tmp/load_stderr.log" "$tmp/served_stderr.log" >&2
+  exit 1
+fi
+load_execs=$(grep -o '"executions": [0-9]*' "$tmp/load.json" | grep -o '[0-9]*')
+if [ "$load_execs" -ne 12 ]; then
+  echo "FAIL: 1000-submission replay over 12 distinct specs executed $load_execs times, want exactly 12:" >&2
+  cat "$tmp/load.json" >&2
+  exit 1
+fi
+# BENCH_9.json = the replay report plus snapshot metadata (load.json opens
+# with "{" on its own line, so the tail splices in as the remaining keys).
+{
+  printf '{\n  "snapshot": 9,\n  "date": "%s",\n  "go": "%s",\n' \
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(go env GOVERSION)"
+  tail -n +2 "$tmp/load.json"
+} > BENCH_9.json
+# Graceful drain: SIGTERM must stop the daemon cleanly (exit 0).
+kill -TERM "$served_pid"
+rc=0
+wait "$served_pid" || rc=$?
+served_pid=""
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: ivliw-served exited $rc on SIGTERM:" >&2
+  cat "$tmp/served_stderr.log" >&2
+  exit 1
+fi
+if ! grep -q 'drained' "$tmp/served_stderr.log"; then
+  echo "FAIL: ivliw-served never reported the drain:" >&2
+  cat "$tmp/served_stderr.log" >&2
+  exit 1
+fi
+echo "replay clean (1000 submissions, 12 executions); SIGTERM drained exit 0"
+echo "snapshot written to BENCH_9.json:"
+cat BENCH_9.json
 
 echo "CI PASS"

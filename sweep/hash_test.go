@@ -1,0 +1,73 @@
+package sweep
+
+import "testing"
+
+// TestSpecHashSemantics pins the dedup contract of Spec.Hash: per-process
+// knobs never perturb the fingerprint, semantic inputs always do.
+func TestSpecHashSemantics(t *testing.T) {
+	base := Spec{
+		Grid: Grid{Clusters: []int{2, 4}},
+		Workloads: Workloads{Synth: []SynthSpec{{
+			Name: "h", Seed: 7, Kernels: 1, Iters: 64, FootprintBytes: 2048,
+		}}},
+		Compile: Compile{Heuristic: "IPBC", Unroll: "none"},
+	}
+	want, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 64 {
+		t.Fatalf("hash %q is not a hex sha256", want)
+	}
+
+	// Per-process knobs: same rows, same hash.
+	invariant := map[string]func(*Spec){
+		"workers":   func(s *Spec) { s.Workers = 7 },
+		"sim_batch": func(s *Spec) { s.SimBatch = 4 },
+		"shard":     func(s *Spec) { s.Shard = Shard{Index: 1, Count: 3} },
+		"store":     func(s *Spec) { s.Store = Store{Memory: 5, Dir: "/tmp/x"} },
+		"output":    func(s *Spec) { s.Output = Output{Path: "rows.jsonl"} },
+		"heartbeat": func(s *Spec) { s.Heartbeat = Heartbeat{Path: "hb", IntervalMS: 50} },
+	}
+	for name, mut := range invariant {
+		s := base
+		mut(&s)
+		got, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s changed the hash: a per-process knob leaked into the fingerprint", name)
+		}
+	}
+
+	// Semantic inputs: different rows, different hash.
+	semantic := map[string]func(*Spec){
+		"grid":       func(s *Spec) { s.Grid.Clusters = []int{2, 4, 8} },
+		"workload":   func(s *Spec) { s.Workloads.Synth[0].Seed = 8 },
+		"compile":    func(s *Spec) { s.Compile.Unroll = "selective" },
+		"synthcount": func(s *Spec) { s.Workloads.SynthCount = 2 },
+	}
+	for name, mut := range semantic {
+		s := base
+		s.Workloads.Synth = append([]SynthSpec(nil), base.Workloads.Synth...)
+		mut(&s)
+		got, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == want {
+			t.Errorf("%s did not change the hash: a semantic input is missing from the fingerprint", name)
+		}
+	}
+
+	// The public wrapper and the private fingerprint agree (the manifest
+	// and the serving layer must key identically).
+	priv, err := specHash(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv != want {
+		t.Fatalf("Spec.Hash %q != specHash %q", want, priv)
+	}
+}

@@ -278,6 +278,19 @@ func (w Workloads) benches() ([]workload.BenchSpec, error) {
 	return benches, nil
 }
 
+// Hash returns the spec's semantic fingerprint: a hex sha256 over the
+// canonical encoding of the grid, the workload selection and the compiler
+// configuration — the inputs that determine row bytes. Per-process knobs
+// (shard, output, store, workers, sim batching, heartbeat) are excluded,
+// so two specs that would produce identical rows hash identically no
+// matter how or where they run. The coordinator manifest and the serving
+// layer's job IDs both use this fingerprint as their idempotency key;
+// `ivliw-bench -spec-hash` prints it so clients can predict dedup keys
+// offline.
+func (s Spec) Hash() (string, error) {
+	return specHash(s)
+}
+
 // Encode renders the spec as indented JSON with a trailing newline. The
 // encoding is canonical: Encode(ParseSpec(Encode(s))) is byte-identical to
 // Encode(s), so specs can be diffed, committed and content-addressed.
