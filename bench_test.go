@@ -48,7 +48,7 @@ func BenchmarkTable2(b *testing.B) {
 // the OUF+alignment bar (the paper's headline configuration).
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure4()
+		rows, err := experiments.Figure4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +62,7 @@ func BenchmarkFigure4(b *testing.B) {
 // IPBC under selective unrolling).
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure5()
+		rows, err := experiments.Figure5(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +78,7 @@ func BenchmarkFigure5(b *testing.B) {
 // each heuristic's own no-AB stall).
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure6()
+		rows, err := experiments.Figure6(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func BenchmarkFigure6(b *testing.B) {
 // BenchmarkFigure7 regenerates the workload-balance study.
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure7()
+		rows, err := experiments.Figure7(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +110,7 @@ func BenchmarkFigure7(b *testing.B) {
 // Unified(L=1) = 1.0).
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure8()
+		rows, err := experiments.Figure8(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func BenchmarkFigure8(b *testing.B) {
 func BenchmarkRunSuite(b *testing.B) {
 	v := experiments.Interleaved("IPBC+AB", ivliw.IPBC, ivliw.Selective, true, true, false)
 	for i := 0; i < b.N; i++ {
-		out, err := experiments.RunSuite(v)
+		out, err := experiments.RunSuite(context.Background(), v)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -302,7 +302,7 @@ func BenchmarkAblationOrdering(b *testing.B) {
 // study (see examples/interleave-sweep).
 func BenchmarkInterleaveSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.InterleaveSweep([]string{"gsmdec", "jpegenc"}, []int{2, 4, 8})
+		rows, err := experiments.InterleaveSweep(context.Background(), []string{"gsmdec", "jpegenc"}, []int{2, 4, 8})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -102,6 +102,7 @@ import (
 	"time"
 
 	"ivliw/internal/arch"
+	"ivliw/internal/atomicio"
 	"ivliw/internal/experiments"
 	"ivliw/internal/pipeline"
 	"ivliw/sweep"
@@ -373,7 +374,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := os.WriteFile(*specOut, data, 0o644); err != nil {
+			if err := atomicio.WriteFile(*specOut, data); err != nil {
 				log.Fatal(err)
 			}
 			// Captured per-process knobs are easy to forget: a pinned shard
@@ -533,7 +534,7 @@ func main() {
 }
 
 func fig4() error {
-	rows, err := experiments.Figure4()
+	rows, err := experiments.Figure4(context.Background())
 	if err != nil {
 		return err
 	}
@@ -553,7 +554,7 @@ func fig4() error {
 }
 
 func fig5() error {
-	rows, err := experiments.Figure5()
+	rows, err := experiments.Figure5(context.Background())
 	if err != nil {
 		return err
 	}
@@ -571,7 +572,7 @@ func fig5() error {
 }
 
 func fig6() error {
-	rows, err := experiments.Figure6()
+	rows, err := experiments.Figure6(context.Background())
 	if err != nil {
 		return err
 	}
@@ -589,7 +590,7 @@ func fig6() error {
 }
 
 func fig7() error {
-	rows, err := experiments.Figure7()
+	rows, err := experiments.Figure7(context.Background())
 	if err != nil {
 		return err
 	}
@@ -603,7 +604,7 @@ func fig7() error {
 }
 
 func fig8() error {
-	rows, err := experiments.Figure8()
+	rows, err := experiments.Figure8(context.Background())
 	if err != nil {
 		return err
 	}
@@ -621,15 +622,15 @@ func fig8() error {
 }
 
 func headlines() error {
-	fig4, err := experiments.Figure4()
+	fig4, err := experiments.Figure4(context.Background())
 	if err != nil {
 		return err
 	}
-	fig6, err := experiments.Figure6()
+	fig6, err := experiments.Figure6(context.Background())
 	if err != nil {
 		return err
 	}
-	fig8, err := experiments.Figure8()
+	fig8, err := experiments.Figure8(context.Background())
 	if err != nil {
 		return err
 	}
@@ -982,6 +983,7 @@ func corruptOutput(path string) {
 		log.Fatalf("fault: corrupt-output %s: unreadable or empty (%v)", path, err)
 	}
 	data[len(data)/2] ^= 0x40
+	//ivliw:nonatomic fault injection: deliberately rewrites a committed file in place
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		log.Fatalf("fault: corrupt-output: %v", err)
 	}

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ivliw/internal/atomicio"
 	"ivliw/sweep"
 	"ivliw/sweep/serve"
 )
@@ -91,20 +92,15 @@ func oneShot(ctx context.Context, c *serve.Client, specPath, rowsPath string, po
 		return err
 	}
 	if rowsPath != "" && st.State == serve.StateDone {
-		tmp := rowsPath + ".tmp"
-		f, err := os.Create(tmp)
+		f, err := atomicio.Create(rowsPath)
 		if err != nil {
 			return err
 		}
-		_, err = c.Rows(ctx, sub.Job, f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		if _, err := c.Rows(ctx, sub.Job, f); err != nil {
+			f.Abort()
+			return err
 		}
-		if err == nil {
-			err = os.Rename(tmp, rowsPath)
-		}
-		if err != nil {
-			os.Remove(tmp)
+		if err := f.Commit(); err != nil {
 			return err
 		}
 	}
@@ -292,11 +288,7 @@ func replay(ctx context.Context, c *serve.Client, cfg replayConfig) error {
 	b = append(b, '\n')
 	os.Stdout.Write(b)
 	if cfg.Out != "" {
-		tmp := cfg.Out + ".tmp"
-		if err := os.WriteFile(tmp, b, 0o666); err != nil {
-			return err
-		}
-		if err := os.Rename(tmp, cfg.Out); err != nil {
+		if err := atomicio.WriteFile(cfg.Out, b); err != nil {
 			return err
 		}
 	}

@@ -60,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"ivliw/internal/atomicio"
 	"ivliw/sweep"
 	"ivliw/sweep/serve"
 )
@@ -181,11 +182,7 @@ func run(o options) error {
 	}
 	bound := ln.Addr().String()
 	if o.addrFile != "" {
-		tmp := o.addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o666); err != nil {
-			return err
-		}
-		if err := os.Rename(tmp, o.addrFile); err != nil {
+		if err := atomicio.WriteFile(o.addrFile, []byte(bound+"\n")); err != nil {
 			return err
 		}
 	}

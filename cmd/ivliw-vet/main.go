@@ -1,0 +1,71 @@
+// Command ivliw-vet runs the module's custom static-analysis pass
+// (internal/lintcheck): five analyzers that prove the repo's determinism
+// and durability invariants — atomicwrite, strictjson, determinism,
+// ctxplumb and nopanic — plus validation of the //ivliw: escape
+// annotations themselves.
+//
+// Usage:
+//
+//	ivliw-vet [-dir DIR] [-json] [patterns ...]
+//
+// Patterns default to ./... and are resolved by `go list` in -dir
+// (default: the current directory). Output is one line per finding:
+//
+//	file:line: [analyzer] message
+//
+// with file paths relative to the analyzed module's root, sorted by file,
+// line, column, analyzer and message — byte-stable across runs, like
+// everything else in this module. -json emits the same findings as a JSON
+// array of {file, line, col, analyzer, message} objects.
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ivliw/internal/lintcheck"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	dir := flag.String("dir", ".", "module directory to analyze")
+	flag.Parse()
+
+	mod, err := lintcheck.Load(*dir, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ivliw-vet:", err)
+		return 2
+	}
+	diags := lintcheck.Run(mod, lintcheck.DefaultConfig(mod.Path))
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lintcheck.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "ivliw-vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "ivliw-vet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -286,4 +286,43 @@
 //     figure across a bounded worker pool (GOMAXPROCS workers) with
 //     deterministic result ordering, so cmd/ivliw-bench scales with cores
 //     while emitting byte-identical reports.
+//
+// # Static analysis
+//
+// The module's two load-bearing invariants — byte-identical output across
+// workers/shards/caches/coordination, and temp+rename atomicity for every
+// committed file — are proven, not just tested, by a custom analysis pass:
+// internal/lintcheck, run as `ivliw-vet ./...` (cmd/ivliw-vet; gated clean
+// by scripts/ci.sh step 12). Five analyzers, stdlib-only (go/parser +
+// go/types over `go list -deps -export`):
+//
+//   - atomicwrite: os.Create / os.WriteFile / os.OpenFile-for-write are
+//     banned; destination files are staged through internal/atomicio
+//     (CreateTemp + Rename), so no reader or restarted daemon ever sees a
+//     half-written spec, manifest, beat, job record or row file.
+//   - strictjson: json.Unmarshal and Decode-without-DisallowUnknownFields
+//     are banned; every durable or wire record parses strictly, so format
+//     drift between builds fails loudly instead of silently zeroing fields.
+//   - determinism: in code reachable from sweep.Run, sim.RunLoopBatch or
+//     sweep.Spec.Hash (the call graphs that produce row bytes and semantic
+//     hashes), time.Now/Since, unseeded math/rand draws and map-iteration
+//     into sinks/writers/hashes are banned.
+//   - ctxplumb: exported work-launchers in sweep, sweep/serve and
+//     internal/pipeline must accept a context.Context, and fresh root
+//     contexts (context.Background/TODO) are banned in library code — the
+//     `if ctx == nil { ctx = context.Background() }` default guard is the
+//     one allowed form.
+//   - nopanic: panic, os.Exit and log.Fatal* are banned outside package
+//     main; libraries return errors.
+//
+// Findings are escaped — never silenced — with an annotation on the line
+// above stating the reason, which the pass itself validates:
+//
+//	//ivliw:wallclock beat timestamps are liveness metadata, never row bytes
+//	//ivliw:nonatomic fault injection: deliberately rewrites a committed file
+//	//ivliw:invariant exhaustive switch over a closed enum
+//
+// (wallclock escapes determinism, nonatomic escapes atomicwrite, invariant
+// escapes nopanic; strictjson and ctxplumb have no escape — those are
+// fixed, not excused.)
 package ivliw

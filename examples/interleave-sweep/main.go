@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ func main() {
 	log.SetFlags(0)
 	benches := []string{"gsmdec", "gsmenc", "g721dec", "jpegenc", "pgpdec"}
 	factors := []int{2, 4, 8}
-	rows, err := experiments.InterleaveSweep(benches, factors)
+	rows, err := experiments.InterleaveSweep(context.Background(), benches, factors)
 	if err != nil {
 		log.Fatal(err)
 	}

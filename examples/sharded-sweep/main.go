@@ -61,6 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//ivliw:nonatomic example scratch file in a fresh temp dir; nothing reads it concurrently
 	if err := os.WriteFile(specPath, data, 0o644); err != nil {
 		log.Fatal(err)
 	}

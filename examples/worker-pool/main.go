@@ -132,19 +132,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The full manifest shape, decoded strictly: if the coordinator's
+	// ledger format drifts, this example fails loudly instead of silently
+	// printing a subset of a file it no longer understands.
 	var mf struct {
-		Shards []struct {
-			Index   int    `json:"index"`
-			Status  string `json:"status"`
-			Worker  string `json:"worker"`
-			History []struct {
-				Attempt int    `json:"attempt"`
-				Worker  string `json:"worker"`
-				Error   string `json:"error"`
+		SpecHash string `json:"spec_hash"`
+		Shards   []struct {
+			Index    int    `json:"index"`
+			Output   string `json:"output"`
+			Lo       int    `json:"lo"`
+			Hi       int    `json:"hi"`
+			Status   string `json:"status"`
+			Attempts int    `json:"attempts"`
+			Worker   string `json:"worker"`
+			History  []struct {
+				Attempt     int     `json:"attempt"`
+				Worker      string  `json:"worker"`
+				Error       string  `json:"error"`
+				WallMS      int64   `json:"wall_ms"`
+				Rows        int     `json:"rows"`
+				CellsPerSec float64 `json:"cells_per_s"`
 			} `json:"history"`
 		} `json:"shards"`
 	}
-	if err := json.Unmarshal(data, &mf); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&mf); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nmanifest attribution:")

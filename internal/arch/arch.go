@@ -369,6 +369,7 @@ func (c Config) Latency(class LatencyClass) int {
 	case RemoteMiss:
 		return 2*bus + c.LocalHitLatency + c.NextLevelLatency
 	}
+	//ivliw:invariant exhaustive switch over the LatencyClass enum; new classes extend the switch
 	panic(fmt.Sprintf("arch: unknown latency class %d", int(class)))
 }
 

@@ -1,0 +1,88 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWriteFileCommitsAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("v1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1\n" {
+		t.Fatalf("got %q", got)
+	}
+	if err := WriteFile(path, []byte("v2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2\n" {
+		t.Fatalf("got %q", got)
+	}
+	if stray, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(stray) != 0 {
+		t.Fatalf("stray staging files: %v", stray)
+	}
+}
+
+func TestAbortLeavesDestinationUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("old\n")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f.Name(), ".tmp-") {
+		t.Fatalf("staging name %q misses the .tmp- convention cleanup globs rely on", f.Name())
+	}
+	if _, err := f.Write([]byte("new\n")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	if got, _ := os.ReadFile(path); string(got) != "old\n" {
+		t.Fatalf("abort clobbered the destination: %q", got)
+	}
+	if stray, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(stray) != 0 {
+		t.Fatalf("stray staging files: %v", stray)
+	}
+}
+
+// Concurrent writers staging the same destination must never share a
+// staging file; the last rename wins and the destination is always one
+// writer's complete bytes.
+func TestConcurrentWritersNeverCollide(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := WriteFile(path, []byte("payload-payload\n")); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, _ := os.ReadFile(path); string(got) != "payload-payload\n" {
+		t.Fatalf("torn write: %q", got)
+	}
+	if stray, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(stray) != 0 {
+		t.Fatalf("stray staging files: %v", stray)
+	}
+}
+
+func TestCommitFailureRemovesStaging(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Create(filepath.Join(dir, "sub", "out.json"))
+	if err == nil {
+		f.Abort()
+		t.Fatal("Create into a missing directory should fail (staging sits beside the destination)")
+	}
+}

@@ -40,6 +40,7 @@ func NewStore(lines, assoc int) (*Store, error) {
 func MustStore(lines, assoc int) *Store {
 	s, err := NewStore(lines, assoc)
 	if err != nil {
+		//ivliw:invariant Must contract: callers pass geometries already accepted by arch.Config.Validate
 		panic(err)
 	}
 	return s

@@ -187,9 +187,12 @@ func RunBenchBatchStore(spec workload.BenchSpec, vs []Variant, st pipeline.Store
 
 // RunSuite runs every benchmark of the suite under the variant, fanning the
 // benchmarks across the worker pool.
-func RunSuite(v Variant) (map[string]stats.Bench, error) {
+func RunSuite(ctx context.Context, v Variant) (map[string]stats.Bench, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	suite := workload.Suite()
-	res, err := runCells(context.Background(), len(suite), 0, func(i int) (stats.Bench, error) {
+	res, err := runCells(ctx, len(suite), 0, func(i int) (stats.Bench, error) {
 		return RunBench(suite[i], v)
 	})
 	if err != nil {
@@ -241,10 +244,10 @@ func Fig4Variants() []Variant {
 // Figure4 computes the memory access classification of every benchmark
 // under the four IPBC variants, plus the AMEAN row. The (benchmark ×
 // variant) cells run on the worker pool.
-func Figure4() ([]Fig4Row, error) {
+func Figure4(ctx context.Context) ([]Fig4Row, error) {
 	variants := Fig4Variants()
 	suite := workload.Suite()
-	cells, err := benchCells(suite, variants)
+	cells, err := benchCells(ctx, suite, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -289,13 +292,13 @@ type Fig5Row struct {
 
 // Figure5 classifies stall-generating remote hits under selective unrolling
 // for IBC and IPBC (no Attraction Buffers).
-func Figure5() ([]Fig5Row, error) {
+func Figure5(ctx context.Context) ([]Fig5Row, error) {
 	variants := []Variant{
 		Interleaved("IBC", sched.IBC, core.Selective, true, false, false),
 		Interleaved("IPBC", sched.IPBC, core.Selective, true, false, false),
 	}
 	suite := workload.Suite()
-	cells, err := benchCells(suite, variants)
+	cells, err := benchCells(ctx, suite, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -351,10 +354,10 @@ func Fig6Variants() []Variant {
 
 // Figure6 computes stall time by access type for the four variants plus the
 // AMEAN row (normalized stall means).
-func Figure6() ([]Fig6Row, error) {
+func Figure6(ctx context.Context) ([]Fig6Row, error) {
 	variants := Fig6Variants()
 	suite := workload.Suite()
-	cells, err := benchCells(suite, variants)
+	cells, err := benchCells(ctx, suite, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -408,14 +411,14 @@ type Fig7Row struct {
 
 // Figure7 computes workload balance for IPBC with (i) no unrolling, (ii)
 // OUF unrolling and (iii) OUF unrolling without memory dependent chains.
-func Figure7() ([]Fig7Row, error) {
+func Figure7(ctx context.Context) ([]Fig7Row, error) {
 	variants := []Variant{
 		Interleaved("IPBC no-unroll", sched.IPBC, core.NoUnroll, true, false, false),
 		Interleaved("IPBC OUF", sched.IPBC, core.OUFUnroll, true, false, false),
 		Interleaved("IPBC OUF no-chains", sched.IPBC, core.OUFUnroll, true, false, true),
 	}
 	suite := workload.Suite()
-	cells, err := benchCells(suite, variants)
+	cells, err := benchCells(ctx, suite, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -464,12 +467,12 @@ func Fig8Variants() []Variant {
 
 // Figure8 computes cycle counts for the four architectures normalized to a
 // unified cache with 1-cycle latency, plus the AMEAN row.
-func Figure8() ([]Fig8Row, error) {
+func Figure8(ctx context.Context) ([]Fig8Row, error) {
 	variants := Fig8Variants()
 	// The Unified(L=1) baseline rides along as cell 0 of every row.
 	withBase := append([]Variant{UnifiedVariant(1)}, variants...)
 	suite := workload.Suite()
-	cells, err := benchCells(suite, withBase)
+	cells, err := benchCells(ctx, suite, withBase)
 	if err != nil {
 		return nil, err
 	}
@@ -634,7 +637,7 @@ type InterleaveRow struct {
 // a 2-byte interleaving factor would match better the applications'
 // characteristics") over the given benchmarks. Factors must divide the
 // block size evenly across clusters.
-func InterleaveSweep(benches []string, factors []int) ([]InterleaveRow, error) {
+func InterleaveSweep(ctx context.Context, benches []string, factors []int) ([]InterleaveRow, error) {
 	// Resolve and validate the whole grid up front so the parallel fan-out
 	// reports configuration errors deterministically, before any cell runs.
 	specs := make([]workload.BenchSpec, len(benches))
@@ -654,7 +657,7 @@ func InterleaveSweep(benches []string, factors []int) ([]InterleaveRow, error) {
 		}
 		variants[i] = v
 	}
-	cells, err := benchCells(specs, variants)
+	cells, err := benchCells(ctx, specs, variants)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -216,7 +217,7 @@ func TestComputeHeadlines(t *testing.T) {
 // TestInterleaveSweep runs the §5.1 future-work sweep on one benchmark with
 // two factors and checks the bookkeeping.
 func TestInterleaveSweep(t *testing.T) {
-	rows, err := InterleaveSweep([]string{"g721dec"}, []int{2, 4})
+	rows, err := InterleaveSweep(context.Background(), []string{"g721dec"}, []int{2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,10 +234,10 @@ func TestInterleaveSweep(t *testing.T) {
 }
 
 func TestInterleaveSweepErrors(t *testing.T) {
-	if _, err := InterleaveSweep([]string{"nope"}, []int{4}); err == nil {
+	if _, err := InterleaveSweep(context.Background(), []string{"nope"}, []int{4}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if _, err := InterleaveSweep([]string{"g721dec"}, []int{3}); err == nil {
+	if _, err := InterleaveSweep(context.Background(), []string{"g721dec"}, []int{3}); err == nil {
 		t.Error("invalid interleaving factor accepted (block not divisible)")
 	}
 }

@@ -121,7 +121,10 @@ var figureCache = pipeline.NewCache(pipeline.DefaultCacheSize)
 // RunBenchBatchStore so siblings share one event-merge pass. Results and
 // the reported error (lowest (benchmark, variant) failing cell) are
 // identical to the unbatched fan-out.
-func benchCells(suite []workload.BenchSpec, variants []Variant) ([][]stats.Bench, error) {
+func benchCells(ctx context.Context, suite []workload.BenchSpec, variants []Variant) ([][]stats.Bench, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nv := len(variants)
 	var groups [][]int
 	byKey := map[string]int{}
@@ -140,7 +143,7 @@ func benchCells(suite []workload.BenchSpec, variants []Variant) ([][]stats.Bench
 		benches []stats.Bench
 		errs    []error
 	}
-	flat, err := runCells(context.Background(), len(suite)*ng, 0, func(i int) (groupRes, error) {
+	flat, err := runCells(ctx, len(suite)*ng, 0, func(i int) (groupRes, error) {
 		b, idx := i/ng, groups[i%ng]
 		vs := make([]Variant, len(idx))
 		for j, v := range idx {

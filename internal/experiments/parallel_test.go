@@ -72,7 +72,7 @@ func TestRunCellsSerial(t *testing.T) {
 // with direct serial RunBench calls.
 func TestRunSuiteMatchesRunBench(t *testing.T) {
 	v := UnifiedVariant(5)
-	got, err := RunSuite(v)
+	got, err := RunSuite(context.Background(), v)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -87,6 +87,7 @@ func (b *Builder) Build() (*Loop, error) {
 func (b *Builder) MustBuild() *Loop {
 	l, err := b.Build()
 	if err != nil {
+		//ivliw:invariant Must contract: only static in-repo loop shapes (tests, generators) reach this path
 		panic(err)
 	}
 	return l

@@ -278,6 +278,7 @@ func (l *Loop) EdgeLatency(e Edge, assigned []int) int {
 	case RegOut, MemDep:
 		return 1
 	}
+	//ivliw:invariant exhaustive switch over the dependence Kind enum; new kinds extend the switch
 	panic(fmt.Sprintf("ir: unknown dependence kind %d", int(e.Kind)))
 }
 

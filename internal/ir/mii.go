@@ -43,6 +43,7 @@ func FUFor(c OpClass) arch.FUKind {
 	case OpLoad, OpStore:
 		return arch.FUMem
 	}
+	//ivliw:invariant exhaustive switch over the op Class enum; new classes extend the switch
 	panic("ir: unknown op class")
 }
 

@@ -64,6 +64,7 @@ func NewRecEngine(g *Graph, nodes []int) *RecEngine {
 			case RegOut, MemDep:
 				re.fixed = 1
 			default:
+				//ivliw:invariant exhaustive switch over the dependence Kind enum, mirroring Loop.EdgeLatency
 				panic(fmt.Sprintf("ir: unknown dependence kind %d", int(ed.Kind)))
 			}
 			e.edges = append(e.edges, re)

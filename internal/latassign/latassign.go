@@ -115,6 +115,7 @@ func ExpectedStall(ld Ladder, p MemProfile, la int) float64 {
 		}
 		return 0
 	default:
+		//ivliw:invariant ladders are built from arch.Config.MemLatencies (4 classes) or hit/miss pairs (2); no other constructor exists
 		panic("latassign: ladder must have 2 or 4 classes")
 	}
 }

@@ -1,0 +1,113 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// runAtomicWrite flags direct destination-file writes: os.Create,
+// os.WriteFile, and os.OpenFile with any write-mode flag. Committed files
+// must be staged through internal/atomicio (CreateTemp + Rename), so a
+// reader — or a restarted daemon — never observes a prefix. os.CreateTemp
+// itself is allowed: it is the staging half of the discipline.
+//
+// Escape: //ivliw:nonatomic <reason>, for writes that are genuinely not
+// commit points (fault injection, scratch files, the staging file inside
+// atomicio itself).
+func runAtomicWrite(p *pass) {
+	for _, pkg := range p.mod.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+					return true
+				}
+				switch fn.Name() {
+				case "Create":
+					p.check(call, "os.Create writes the destination in place; stage with internal/atomicio (CreateTemp + Rename)")
+				case "WriteFile":
+					p.check(call, "os.WriteFile writes the destination in place; use internal/atomicio.WriteFile")
+				case "OpenFile":
+					if len(call.Args) >= 2 && openFlagWrites(pkg, call.Args[1]) {
+						p.check(call, "os.OpenFile opens the destination for writing; stage with internal/atomicio (CreateTemp + Rename)")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// check reports the finding unless an //ivliw:nonatomic escape covers it.
+func (p *pass) check(call *ast.CallExpr, msg string) {
+	if p.suppressed(call.Pos(), "nonatomic") {
+		return
+	}
+	p.reportf(call.Pos(), "%s", msg)
+}
+
+// writeFlags are the os.OpenFile flag bits that make a destination write
+// possible. O_RDONLY is 0, so a constant flag with none of these bits set
+// is a pure read.
+var writeFlagNames = []string{"O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC"}
+
+// openFlagWrites reports whether the flag expression can open for writing.
+// Constant flags are checked against the real os package constants (resolved
+// from type information, not hardcoded); non-constant flags are treated as
+// writes — the analyzer is conservative where it cannot prove safety.
+func openFlagWrites(pkg *Package, flag ast.Expr) bool {
+	tv, ok := pkg.Info.Types[flag]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return true // non-constant: assume write
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return true
+	}
+	var writeMask int64
+	osPkg := findImported(pkg, "os")
+	if osPkg == nil {
+		return true
+	}
+	for _, name := range writeFlagNames {
+		c, ok := osPkg.Scope().Lookup(name).(*types.Const)
+		if !ok {
+			return true
+		}
+		bits, ok := constant.Int64Val(c.Val())
+		if !ok {
+			return true
+		}
+		writeMask |= bits
+	}
+	return v&writeMask != 0
+}
+
+// findImported returns the types.Package for path among pkg's direct imports.
+func findImported(pkg *Package, path string) *types.Package {
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == path {
+			return imp
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression to the called *types.Func, or nil
+// for calls through function values, builtins, or type conversions.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcNode is one module function declaration in the call graph.
+type funcNode struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// callGraph is a static over-approximation of the module's call relation,
+// keyed by "pkg/path.Func" / "pkg/path.Type.Method" strings so edges cross
+// package boundaries without shared type identity.
+type callGraph struct {
+	nodes map[string]*funcNode
+	edges map[string][]string
+}
+
+// funcKey names a *types.Func: "pkg.Name" for functions,
+// "pkg.Type.Method" for methods (pointer receivers dereferenced). Interface
+// methods key on the interface's defining type, but calls through them are
+// expanded to concrete implementations at edge-building time.
+func funcKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name() // builtins (error.Error on predeclared error)
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// buildCallGraph indexes every FuncDecl in the module and records call
+// edges: direct calls, go/defer statements (their CallExprs are visited by
+// Inspect), and interface-method calls expanded to every module type whose
+// method set satisfies the interface. Function literals are attributed to
+// the enclosing declaration — a closure launched inside sweep.Run is
+// sweep.Run for reachability purposes.
+func buildCallGraph(mod *Module) *callGraph {
+	g := &callGraph{
+		nodes: make(map[string]*funcNode),
+		edges: make(map[string][]string),
+	}
+	modulePkgs := make(map[string]*Package)
+	for _, pkg := range mod.Pkgs {
+		modulePkgs[pkg.Path] = pkg
+	}
+
+	// Concrete named types per package, for interface-call expansion.
+	var namedTypes []*types.Named
+	for _, pkg := range mod.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				if _, isIface := named.Underlying().(*types.Interface); !isIface {
+					namedTypes = append(namedTypes, named)
+				}
+			}
+		}
+	}
+
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				key := funcKey(fn)
+				g.nodes[key] = &funcNode{pkg: pkg, decl: fd}
+				if fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeFunc(pkg, call)
+					if callee == nil || callee.Pkg() == nil {
+						return true
+					}
+					if _, inModule := modulePkgs[callee.Pkg().Path()]; !inModule {
+						return true
+					}
+					if iface := receiverInterface(callee); iface != nil {
+						// Dynamic dispatch: edge to every module type that
+						// implements the interface.
+						for _, impl := range namedTypes {
+							if !types.Implements(impl, iface) && !types.Implements(types.NewPointer(impl), iface) {
+								continue
+							}
+							obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(impl), true, impl.Obj().Pkg(), callee.Name())
+							if m, ok := obj.(*types.Func); ok {
+								g.edges[key] = append(g.edges[key], funcKey(m))
+							}
+						}
+						return true
+					}
+					g.edges[key] = append(g.edges[key], funcKey(callee))
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// receiverInterface returns the interface type fn is declared on, or nil
+// for concrete methods and plain functions.
+func receiverInterface(fn *types.Func) *types.Interface {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// reachableFrom returns the key set reachable from roots (roots included,
+// when present in the graph; absent roots are ignored).
+func (g *callGraph) reachableFrom(roots []string) map[string]bool {
+	reach := make(map[string]bool)
+	var stack []string
+	for _, r := range roots {
+		if _, ok := g.nodes[r]; ok {
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		key := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[key] {
+			continue
+		}
+		reach[key] = true
+		stack = append(stack, g.edges[key]...)
+	}
+	return reach
+}

@@ -1,0 +1,147 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runCtxPlumb proves the cancellation contract in two parts:
+//
+//  1. In the coordination packages (Config.CtxPackages), every exported
+//     function or method that launches work — starts a goroutine or a
+//     subprocess — must accept a context.Context, so callers can always
+//     tear it down.
+//  2. context.Background() and context.TODO() are banned in all library
+//     packages (non-main; test files never reach the analyzer): a fresh
+//     root context in a library orphans the caller's cancellation. The
+//     one allowed form is the documented default guard
+//     `if ctx == nil { ctx = context.Background() }`.
+//
+// There is no annotation escape: plumb the context.
+func runCtxPlumb(p *pass) {
+	ctxPkgs := make(map[string]bool)
+	for _, path := range p.cfg.CtxPackages {
+		ctxPkgs[path] = true
+	}
+	for _, pkg := range p.mod.Pkgs {
+		isMain := pkg.Types.Name() == "main"
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if ctxPkgs[pkg.Path] && exportedName(fd.Name.Name) &&
+					!hasContextParam(pkg, fd) && launchesWork(pkg, fd.Body) {
+					p.reportf(fd.Pos(), "exported %s launches work (goroutine or subprocess) but takes no context.Context", fd.Name.Name)
+				}
+				if !isMain {
+					checkNoFreshContext(p, pkg, fd.Body)
+				}
+			}
+		}
+	}
+}
+
+// hasContextParam reports whether fd takes a context.Context parameter.
+func hasContextParam(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if named, ok := tv.Type.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// launchesWork reports whether body starts a goroutine or calls into
+// os/exec (builds or runs a subprocess).
+func launchesWork(pkg *Package, body *ast.BlockStmt) bool {
+	launches := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			launches = true
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "os/exec" {
+				launches = true
+			}
+		}
+		return !launches
+	})
+	return launches
+}
+
+// checkNoFreshContext flags context.Background()/TODO() outside the nil
+// guard.
+func checkNoFreshContext(p *pass, pkg *Package, body *ast.BlockStmt) {
+	allowed := nilGuardedContexts(pkg, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() != "Background" && fn.Name() != "TODO" {
+			return true
+		}
+		if allowed[call] {
+			return true
+		}
+		p.reportf(call.Pos(), "context.%s in library code orphans the caller's cancellation; accept a ctx parameter (default it with `if ctx == nil` if callers may pass nil)", fn.Name())
+		return true
+	})
+}
+
+// nilGuardedContexts finds the allowed idiom
+//
+//	if ctx == nil { ctx = context.Background() }
+//
+// and returns the Background/TODO call expressions it covers.
+func nilGuardedContexts(pkg *Package, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	allowed := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op.String() != "==" {
+			return true
+		}
+		guarded, ok := ast.Unparen(cond.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if nilIdent, ok := ast.Unparen(cond.Y).(*ast.Ident); !ok || nilIdent.Name != "nil" {
+			return true
+		}
+		for _, stmt := range ifStmt.Body.List {
+			assign, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				continue
+			}
+			lhs, ok := assign.Lhs[0].(*ast.Ident)
+			if !ok || lhs.Name != guarded.Name {
+				continue
+			}
+			if call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr); ok {
+				allowed[call] = true
+			}
+		}
+		return true
+	})
+	return allowed
+}

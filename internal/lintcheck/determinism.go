@@ -1,0 +1,133 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runDeterminism proves the byte-identity invariant: in every function
+// reachable from the configured roots (sweep.Run, sim.RunLoopBatch,
+// Spec.Hash — the code that produces row bytes and semantic hashes), it
+// flags
+//
+//   - time.Now / time.Since — wall-clock values must never feed output;
+//   - package-level math/rand and math/rand/v2 draws — randomness is
+//     allowed only through an explicitly constructed, seeded source
+//     (rand.New(rand.NewPCG(seed, seed)).…), whose seed is part of the
+//     spec;
+//   - range over a map whose body writes to a sink, writer, hash or
+//     channel — map order would leak into bytes.
+//
+// Reachability is a static over-approximation: direct calls, go/defer
+// statements, and interface method calls expanded to every module type
+// implementing the interface. Function literals belong to their enclosing
+// declaration.
+//
+// Escape: //ivliw:wallclock <reason>, for sites whose values demonstrably
+// never reach row bytes (heartbeat timestamps, retry backoff, progress
+// logging).
+func runDeterminism(p *pass) {
+	g := buildCallGraph(p.mod)
+	reach := g.reachableFrom(p.cfg.DeterminismRoots)
+	for key := range reach {
+		node := g.nodes[key]
+		if node == nil || node.decl.Body == nil {
+			continue
+		}
+		checkDeterminismBody(p, node.pkg, node.decl.Body)
+	}
+}
+
+// checkDeterminismBody flags nondeterminism sources in one reachable body.
+func checkDeterminismBody(p *pass, pkg *Package, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(pkg, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" {
+					if !p.suppressed(n.Pos(), "wallclock") {
+						p.reportf(n.Pos(), "time.%s in code reachable from a determinism root; wall clock must not feed output bytes", fn.Name())
+					}
+				}
+			case "math/rand", "math/rand/v2":
+				if isPackageLevelRandDraw(fn) {
+					if !p.suppressed(n.Pos(), "wallclock") {
+						p.reportf(n.Pos(), "%s.%s draws from the shared unseeded source; use an explicit seeded source from the spec", fn.Pkg().Name(), fn.Name())
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.X == nil {
+				return true
+			}
+			tv, ok := pkg.Info.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rangeBodyEmits(pkg, n.Body) && !p.suppressed(n.Pos(), "wallclock") {
+				p.reportf(n.Pos(), "range over map feeds a sink/writer/hash in code reachable from a determinism root; sort the keys first")
+			}
+		}
+		return true
+	})
+}
+
+// randConstructors build seeded sources and are allowed; every other
+// package-level function of math/rand(/v2) draws from the shared source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true,
+	"NewChaCha8": true, "NewZipf": true,
+}
+
+// isPackageLevelRandDraw reports whether fn is a package-level math/rand
+// draw (methods on *rand.Rand run on an explicit source and are fine).
+func isPackageLevelRandDraw(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return !randConstructors[fn.Name()]
+}
+
+// sinkMethodNames are method/function names whose call inside a map-range
+// body means iteration order reaches bytes: io writers, fmt printers,
+// encoders, hashes, and the module's row sinks.
+var sinkMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Encode": true, "Sum": true, "Emit": true, "Row": true,
+}
+
+// rangeBodyEmits reports whether a map-range body calls a sink method or
+// sends on a channel.
+func rangeBodyEmits(pkg *Package, body *ast.BlockStmt) bool {
+	emits := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			emits = true
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.SelectorExpr:
+				if sinkMethodNames[fun.Sel.Name] {
+					emits = true
+				}
+			case *ast.Ident:
+				if sinkMethodNames[fun.Name] {
+					emits = true
+				}
+			}
+		}
+		return !emits
+	})
+	return emits
+}

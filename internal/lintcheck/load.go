@@ -1,0 +1,274 @@
+package lintcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Annotation is one parsed //ivliw:<verb> <reason> comment.
+type Annotation struct {
+	Verb   string
+	Reason string
+	Pos    token.Pos
+}
+
+// Module is a loaded, type-checked module: every package whose Module is the
+// main module, with one shared FileSet and an annotation index keyed by
+// absolute filename and line.
+type Module struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+	// Path is the module path from go.mod (e.g. "ivliw").
+	Path string
+	// Dir is the module root directory; Diagnostic.File is relative to it.
+	Dir string
+	// Annotations indexes //ivliw: comments: filename -> line -> annotations.
+	Annotations map[string]map[int][]Annotation
+}
+
+// relPath makes filename module-root-relative (forward slashes) for stable
+// diagnostics; files outside the root keep their absolute path.
+func (m *Module) relPath(filename string) string {
+	if rel, err := filepath.Rel(m.Dir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filename
+}
+
+// listRecord is one package's fields from `go list`.
+type listRecord struct {
+	importPath string
+	dir        string
+	export     string // compiled export data (may be empty for the roots)
+	inModule   bool
+	goFiles    []string
+}
+
+// Field and record separators for the go list template: unit separator and
+// record separator, bytes that cannot appear in file paths go list prints.
+const (
+	fieldSep  = "\x1f"
+	recordSep = "\x1e"
+)
+
+// listTemplate extracts exactly the fields the loader needs. A text template
+// instead of -json keeps this package free of lenient JSON parsing — the
+// same strictjson rule it enforces on the rest of the module.
+const listTemplate = "{{.ImportPath}}" + fieldSep +
+	"{{.Dir}}" + fieldSep +
+	"{{.Export}}" + fieldSep +
+	"{{if .Module}}{{if .Module.Main}}main{{end}}" + fieldSep + "{{.Module.Path}}{{else}}" + fieldSep + "{{end}}" + fieldSep +
+	"{{range .GoFiles}}{{.}},{{end}}" + recordSep
+
+// Load lists, parses and type-checks every module package matching patterns
+// (typically "./...") under dir. Test files are excluded by construction:
+// GoFiles never includes *_test.go.
+func Load(dir string, patterns []string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// -deps -export compiles dependencies and reports their export data, so
+	// type-checking needs no source outside the module.
+	args := append([]string{"list", "-deps", "-export", "-f", listTemplate}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lintcheck: go list: %w", err)
+	}
+
+	var records []listRecord
+	modulePath, moduleDir := "", ""
+	for _, rec := range strings.Split(string(out), recordSep) {
+		rec = strings.TrimSpace(rec)
+		if rec == "" {
+			continue
+		}
+		f := strings.Split(rec, fieldSep)
+		if len(f) != 6 {
+			return nil, fmt.Errorf("lintcheck: malformed go list record (%d fields): %q", len(f), rec)
+		}
+		r := listRecord{
+			importPath: f[0],
+			dir:        f[1],
+			export:     f[2],
+			inModule:   f[3] == "main",
+		}
+		for _, gf := range strings.Split(f[5], ",") {
+			if gf != "" {
+				r.goFiles = append(r.goFiles, filepath.Join(r.dir, gf))
+			}
+		}
+		if r.inModule {
+			if modulePath == "" {
+				modulePath = f[4]
+			}
+			if moduleDir == "" || len(r.dir) < len(moduleDir) {
+				moduleDir = r.dir
+			}
+		}
+		records = append(records, r)
+	}
+	if modulePath == "" {
+		return nil, fmt.Errorf("lintcheck: no main-module packages matched %v under %s", patterns, dir)
+	}
+	// The shortest module-package dir is the module root only if the root
+	// package exists; resolve it properly via go list -m.
+	rootCmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	rootCmd.Dir = dir
+	if rootOut, err := rootCmd.Output(); err == nil {
+		if d := strings.TrimSpace(string(rootOut)); d != "" {
+			moduleDir = d
+		}
+	}
+
+	fset := token.NewFileSet()
+	mod := &Module{
+		Fset:        fset,
+		Path:        modulePath,
+		Dir:         moduleDir,
+		Annotations: make(map[string]map[int][]Annotation),
+	}
+
+	// Export data locations for the dependency importer.
+	exports := make(map[string]string)
+	for _, r := range records {
+		if r.export != "" {
+			exports[r.importPath] = r.export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		ex, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lintcheck: no export data for %q", path)
+		}
+		return os.Open(ex)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	// Type-check module packages in dependency order: go list -deps already
+	// emits dependencies before dependents, but module packages may import
+	// each other, so feed checked packages back through a wrapping importer.
+	checked := make(map[string]*types.Package)
+	wrapped := importerFunc(func(path string) (*types.Package, error) {
+		if tp, ok := checked[path]; ok {
+			return tp, nil
+		}
+		return imp.Import(path)
+	})
+
+	for _, r := range records {
+		if !r.inModule || len(r.goFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range r.goFiles {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lintcheck: %w", err)
+			}
+			files = append(files, f)
+			mod.indexAnnotations(f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{
+			Importer: wrapped,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		}
+		tp, err := conf.Check(r.importPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lintcheck: type-checking %s: %w", r.importPath, err)
+		}
+		checked[r.importPath] = tp
+		mod.Pkgs = append(mod.Pkgs, &Package{
+			Path:  r.importPath,
+			Dir:   r.dir,
+			Files: files,
+			Types: tp,
+			Info:  info,
+		})
+	}
+	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].Path < mod.Pkgs[j].Path })
+	return mod, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// annotationPrefix marks escape comments: //ivliw:<verb> <reason>.
+const annotationPrefix = "//ivliw:"
+
+// indexAnnotations records every //ivliw: comment in f by file and line.
+// Malformed annotations (unknown verb, missing reason) are indexed too —
+// runAnnotationCheck diagnoses them, and suppression requires a reason.
+func (m *Module) indexAnnotations(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, annotationPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, annotationPrefix)
+			verb, reason, _ := strings.Cut(rest, " ")
+			pos := m.Fset.Position(c.Pos())
+			byLine := m.Annotations[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int][]Annotation)
+				m.Annotations[pos.Filename] = byLine
+			}
+			byLine[pos.Line] = append(byLine[pos.Line], Annotation{
+				Verb:   verb,
+				Reason: strings.TrimSpace(reason),
+				Pos:    c.Pos(),
+			})
+		}
+	}
+}
+
+// runAnnotationCheck diagnoses malformed escape annotations: unknown verbs
+// and missing reasons. A typo'd escape must fail loudly, not silently
+// suppress nothing.
+func runAnnotationCheck(p *pass) {
+	known := map[string]bool{"wallclock": true, "nonatomic": true, "invariant": true}
+	for _, byLine := range p.mod.Annotations {
+		for _, anns := range byLine {
+			for _, a := range anns {
+				if !known[a.Verb] {
+					p.reportf(a.Pos, "unknown annotation verb %q (want wallclock, nonatomic or invariant)", a.Verb)
+					continue
+				}
+				if a.Reason == "" {
+					p.reportf(a.Pos, "annotation //ivliw:%s requires a reason", a.Verb)
+				}
+			}
+		}
+	}
+}

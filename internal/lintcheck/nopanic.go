@@ -1,0 +1,55 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runNoPanic flags process-killing calls in library code: the panic builtin,
+// os.Exit, and log.Fatal/Fatalf/Fatalln. A library panic tears down a
+// daemon mid-sweep, skipping the staged-output Abort paths that keep
+// committed files consistent; libraries return errors, package main decides
+// what is fatal.
+//
+// Escape: //ivliw:invariant <reason>, for panics that are genuinely
+// unreachable (exhaustive switch over a closed enum, Must-variants whose
+// contract the caller already validated).
+func runNoPanic(p *pass) {
+	for _, pkg := range p.mod.Pkgs {
+		if pkg.Types.Name() == "main" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+						if !p.suppressed(call.Pos(), "invariant") {
+							p.reportf(call.Pos(), "panic in library code; return an error (escape with //ivliw:invariant if provably unreachable)")
+						}
+						return true
+					}
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "os" && fn.Name() == "Exit":
+					if !p.suppressed(call.Pos(), "invariant") {
+						p.reportf(call.Pos(), "os.Exit in library code skips deferred cleanup; return an error")
+					}
+				case fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
+					if !p.suppressed(call.Pos(), "invariant") {
+						p.reportf(call.Pos(), "log.%s in library code exits the process; return an error and let main decide", fn.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runStrictJSON flags lenient JSON parsing: json.Unmarshal (which silently
+// drops unknown fields), and json.Decoder.Decode on a decoder that was
+// never given DisallowUnknownFields. Every durable or wire record in this
+// module — specs, calibrations, fault plans, beats, manifests, job records,
+// API responses — must parse strictly, so format drift between builds fails
+// loudly instead of silently zeroing fields.
+//
+// There is no annotation escape: a lenient decode is fixed, not excused.
+func runStrictJSON(p *pass) {
+	for _, pkg := range p.mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkStrictJSONFunc(p, pkg, fd.Body)
+			}
+		}
+	}
+}
+
+// checkStrictJSONFunc analyzes one function body. Decoder strictness is
+// proven per receiver object: `dec.DisallowUnknownFields()` anywhere in the
+// same function whitelists `dec.Decode(...)`. Decoders that cross function
+// boundaries can't be tracked by a syntactic pass; a call to
+// DisallowUnknownFields on any value in the function whitelists Decode
+// calls whose receiver is not a simple identifier (conservative in the
+// direction of trusting explicit strictness).
+func checkStrictJSONFunc(p *pass, pkg *Package, body *ast.BlockStmt) {
+	strictObjs := make(map[types.Object]bool)
+	anyStrict := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "DisallowUnknownFields" {
+			return true
+		}
+		if !isJSONDecoderMethod(pkg, sel) {
+			return true
+		}
+		anyStrict = true
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				strictObjs[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+			return true
+		}
+		switch fn.Name() {
+		case "Unmarshal":
+			p.reportf(call.Pos(), "json.Unmarshal drops unknown fields; decode with json.NewDecoder + DisallowUnknownFields")
+		case "Decode":
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !isJSONDecoderMethod(pkg, sel) {
+				return true
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj := pkg.Info.Uses[id]; obj != nil && strictObjs[obj] {
+					return true
+				}
+			} else if anyStrict {
+				// Receiver is an expression (field, call result); a
+				// DisallowUnknownFields call in this function is accepted
+				// as covering it.
+				return true
+			}
+			p.reportf(call.Pos(), "Decode without DisallowUnknownFields on this decoder; unknown fields must be an error")
+		}
+		return true
+	})
+}
+
+// isJSONDecoderMethod reports whether sel selects a method of
+// *encoding/json.Decoder.
+func isJSONDecoderMethod(pkg *Package, sel *ast.SelectorExpr) bool {
+	fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Decoder"
+}

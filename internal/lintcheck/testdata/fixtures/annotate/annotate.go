@@ -1,0 +1,15 @@
+// Package annotate seeds malformed escape annotations: a typo'd verb or a
+// missing reason must be a diagnostic, never a silent no-op.
+package annotate
+
+func A() {
+	// want+1 `\[annotation\] unknown annotation verb "typo"`
+	//ivliw:typo this verb does not exist
+	_ = 0
+}
+
+func B() {
+	// want+1 `\[annotation\] annotation //ivliw:invariant requires a reason`
+	//ivliw:invariant
+	_ = 0
+}

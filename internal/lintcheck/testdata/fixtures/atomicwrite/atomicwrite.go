@@ -1,0 +1,52 @@
+// Package atomicwrite seeds every shape the atomicwrite analyzer must
+// catch — and the shapes it must leave alone.
+package atomicwrite
+
+import "os"
+
+func Violations(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want `\[atomicwrite\] os.WriteFile writes the destination in place`
+		return err
+	}
+	f, err := os.Create(path) // want `\[atomicwrite\] os.Create writes the destination in place`
+	if err != nil {
+		return err
+	}
+	f.Close()
+	g, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644) // want `\[atomicwrite\] os.OpenFile opens the destination for writing`
+	if err != nil {
+		return err
+	}
+	g.Close()
+	h, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE, 0o644) // want `\[atomicwrite\] os.OpenFile opens the destination for writing`
+	if err != nil {
+		return err
+	}
+	return h.Close()
+}
+
+// NonConstantFlag: a flag the analyzer cannot prove read-only is treated as
+// a write.
+func NonConstantFlag(path string, flag int) error {
+	f, err := os.OpenFile(path, flag, 0) // want `\[atomicwrite\] os.OpenFile opens the destination for writing`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Allowed: reads, the staging half of temp+rename, and annotated escapes.
+func Allowed(dir, path string, data []byte) error {
+	r, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	r.Close()
+	tmp, err := os.CreateTemp(dir, "stage-*")
+	if err != nil {
+		return err
+	}
+	tmp.Close()
+	//ivliw:nonatomic fixture: scratch file nobody reads concurrently
+	return os.WriteFile(path, data, 0o644)
+}

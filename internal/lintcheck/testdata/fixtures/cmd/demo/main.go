@@ -1,0 +1,22 @@
+// Command demo proves the package-main exemptions: fresh root contexts,
+// os.Exit and log.Fatal are main's prerogative.
+package main
+
+import (
+	"context"
+	"log"
+	"os"
+)
+
+func main() {
+	ctx := context.Background()
+	if err := run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	os.Exit(0)
+}
+
+func run(ctx context.Context) error {
+	<-ctx.Done()
+	return nil
+}

@@ -1,0 +1,45 @@
+// Package ctxplumb is listed in the fixture config's CtxPackages: exported
+// work-launchers need a context.Context, and fresh root contexts are
+// banned outside the nil-default guard.
+package ctxplumb
+
+import (
+	"context"
+	"os/exec"
+)
+
+func Launch(f func()) { // want `\[ctxplumb\] exported Launch launches work \(goroutine or subprocess\) but takes no context.Context`
+	go f()
+}
+
+func LaunchCtx(ctx context.Context, f func()) {
+	go f()
+	_ = ctx
+}
+
+func RunCmd(name string) error { // want `\[ctxplumb\] exported RunCmd launches work \(goroutine or subprocess\) but takes no context.Context`
+	return exec.Command(name).Run()
+}
+
+// launch is unexported: the launch rule is an API contract, internals may
+// be orchestrated by their exported callers.
+func launch(f func()) {
+	go f()
+}
+
+func Fresh() context.Context {
+	return context.Background() // want `\[ctxplumb\] context.Background in library code orphans the caller's cancellation`
+}
+
+func Todo() context.Context {
+	return context.TODO() // want `\[ctxplumb\] context.TODO in library code orphans the caller's cancellation`
+}
+
+// Guarded is the one allowed form: defaulting a nil ctx.
+func Guarded(ctx context.Context, f func()) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	launch(f)
+	_ = ctx
+}

@@ -1,0 +1,75 @@
+// Package det exercises the determinism analyzer: the fixture config
+// declares Run and Spec.Hash as roots, and the analyzer must follow direct
+// calls, go statements and interface dispatch — and ignore everything
+// unreachable.
+package det
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+type Spec struct{ Seed uint64 }
+
+// Hash is a determinism root (fixtures/det.Spec.Hash).
+func (s Spec) Hash() string {
+	return hashHelper(s)
+}
+
+func hashHelper(s Spec) string {
+	t := time.Now() // want `\[determinism\] time.Now in code reachable from a determinism root`
+	return fmt.Sprint(s.Seed, t.Nanosecond())
+}
+
+// Run is a determinism root (fixtures/det.Run).
+func Run(w io.Writer, s Spec) {
+	emit(w)
+	seeded(s)
+	go background(w)
+	var k Sink = impl{}
+	k.Row(w)
+}
+
+func emit(w io.Writer) {
+	m := map[string]int{"a": 1}
+	for k, v := range m { // want `\[determinism\] range over map feeds a sink/writer/hash`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+	n := 0
+	for range m { // no sink in the body: allowed
+		n++
+	}
+	//ivliw:wallclock fixture: duration feeds a log line, never row bytes
+	_ = time.Since(time.Time{})
+}
+
+func seeded(s Spec) {
+	r := randv2.New(randv2.NewPCG(s.Seed, s.Seed))
+	_ = r.Uint64()   // method on an explicit seeded source: allowed
+	_ = randv2.Int() // want `\[determinism\] rand.Int draws from the shared unseeded source`
+	_ = rand.Intn(4) // want `\[determinism\] rand.Intn draws from the shared unseeded source`
+}
+
+// background is reached through the go statement in Run.
+func background(w io.Writer) {
+	fmt.Fprintln(w, time.Now()) // want `\[determinism\] time.Now in code reachable from a determinism root`
+}
+
+type Sink interface{ Row(io.Writer) }
+
+type impl struct{}
+
+// Row is reached from Run through interface dispatch on Sink.
+func (impl) Row(w io.Writer) {
+	fmt.Fprintln(w, time.Now()) // want `\[determinism\] time.Now in code reachable from a determinism root`
+}
+
+// Unreachable is not in any root's call graph: its wall-clock and shared
+// rand draws are somebody else's problem (logging, CLI glue).
+func Unreachable() {
+	_ = time.Now()
+	_ = rand.Int()
+}

@@ -1,0 +1,32 @@
+// Package nopanic seeds process-killing calls in library code.
+package nopanic
+
+import (
+	"log"
+	"os"
+)
+
+func Bad(x int) {
+	if x < 0 {
+		panic("negative") // want `\[nopanic\] panic in library code`
+	}
+	if x == 1 {
+		os.Exit(2) // want `\[nopanic\] os.Exit in library code skips deferred cleanup`
+	}
+	if x == 2 {
+		log.Fatalf("x=%d", x) // want `\[nopanic\] log.Fatalf in library code exits the process`
+	}
+	if x == 3 {
+		log.Fatalln("bye") // want `\[nopanic\] log.Fatalln in library code exits the process`
+	}
+}
+
+// MustGood shows the escape: a panic the caller's contract makes
+// unreachable.
+func MustGood(x int) int {
+	if x < 0 {
+		//ivliw:invariant fixture: callers validated x >= 0 already
+		panic("unreachable")
+	}
+	return x
+}

@@ -1,0 +1,43 @@
+// Package strictjson seeds lenient and strict JSON decodes.
+package strictjson
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+type Record struct{ A int }
+
+func Lenient(data []byte) (Record, error) {
+	var r Record
+	err := json.Unmarshal(data, &r) // want `\[strictjson\] json.Unmarshal drops unknown fields`
+	return r, err
+}
+
+func LenientDecoder(data []byte) (Record, error) {
+	var r Record
+	dec := json.NewDecoder(bytes.NewReader(data))
+	err := dec.Decode(&r) // want `\[strictjson\] Decode without DisallowUnknownFields`
+	return r, err
+}
+
+func Strict(data []byte) (Record, error) {
+	var r Record
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&r)
+	return r, err
+}
+
+// TwoDecoders: strictness is tracked per decoder object, so d1's
+// DisallowUnknownFields does not excuse d2.
+func TwoDecoders(a, b []byte) error {
+	var r Record
+	d1 := json.NewDecoder(bytes.NewReader(a))
+	d1.DisallowUnknownFields()
+	if err := d1.Decode(&r); err != nil {
+		return err
+	}
+	d2 := json.NewDecoder(bytes.NewReader(b))
+	return d2.Decode(&r) // want `\[strictjson\] Decode without DisallowUnknownFields`
+}

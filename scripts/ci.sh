@@ -59,6 +59,13 @@
 #      must dedup: executions == distinct specs, zero failures), gate the
 #      SIGTERM drain, and write the p50/p99/throughput/dedup-rate snapshot
 #      to BENCH_9.json
+#  12. static analysis: build `ivliw-vet` (internal/lintcheck) and gate the
+#      repo clean under all five analyzers (atomicwrite, strictjson,
+#      determinism, ctxplumb, nopanic) plus annotation validation; then a
+#      seeded-violation smoke module must fail with exit 1 and the expected
+#      diagnostics, and -json must emit them as parseable JSON — so a
+#      silently broken analyzer can never fake a clean repo. The analyzer
+#      wall time per KLoC lands in BENCH_10.json
 #
 # Usage: scripts/ci.sh
 # To refresh the golden transcript after an *intentional* output change:
@@ -70,16 +77,16 @@ tmp="$(mktemp -d)"
 served_pid=""
 trap 'if [ -n "$served_pid" ]; then kill "$served_pid" 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT
 
-echo "== 1/11 go build ./... =="
+echo "== 1/12 go build ./... =="
 go build ./...
 
-echo "== 2/11 go vet ./... =="
+echo "== 2/12 go vet ./... =="
 go vet ./...
 
-echo "== 3/11 go test -race ./... =="
+echo "== 3/12 go test -race ./... =="
 go test -race ./...
 
-echo "== 4/11 paper-output byte identity (ivliw-bench -exp all) =="
+echo "== 4/12 paper-output byte identity (ivliw-bench -exp all) =="
 go build -o "$tmp/ivliw-bench" ./cmd/ivliw-bench
 "$tmp/ivliw-bench" -exp all > "$tmp/exp_all.txt"
 if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
@@ -89,7 +96,7 @@ if ! cmp -s cmd/ivliw-bench/testdata/exp_all.golden "$tmp/exp_all.txt"; then
 fi
 echo "byte-identical"
 
-echo "== 5/11 sweep determinism across workers and compile cache =="
+echo "== 5/12 sweep determinism across workers and compile cache =="
 # run_sweep keeps stderr (cache-stats noise, but also any crash) in a log
 # that is replayed if the invocation fails.
 run_sweep() { # out_file, args...
@@ -129,7 +136,7 @@ if [ "$rows" -lt 12 ]; then
 fi
 echo "deterministic ($rows rows; workers 1/8 × cache on/off × stdout/-out)"
 
-echo "== 6/11 declarative specs, sharding and the disk artifact store =="
+echo "== 6/12 declarative specs, sharding and the disk artifact store =="
 # Capture the default flag grid as a spec file; running the file must be
 # byte-identical to the cache-disabled reference of step 5.
 "$tmp/ivliw-bench" -sweep -spec-out "$tmp/spec.json"
@@ -177,7 +184,7 @@ for bad in "3/3" "-1/3" "x/3" "1x3" "0/0"; do
 done
 echo "spec/shard/store byte-identical (3 shards; warm store compiles nothing)"
 
-echo "== 7/11 distributed sweep coordinator: stitch, retry, resume =="
+echo "== 7/12 distributed sweep coordinator: stitch, retry, resume =="
 # Plain coordinated run over worker subprocesses: the stitched output must
 # reproduce the cache-disabled single-process reference byte for byte.
 coord="$tmp/coord"
@@ -235,7 +242,7 @@ if ! cmp -s "$tmp/sweep_ref.jsonl" "$tmp/coord_resume.jsonl"; then
 fi
 echo "coordinator byte-identical (3 worker subprocesses; 1 injected failure retried; resume launches 0)"
 
-echo "== 8/11 health-checked worker pool: heartbeats, failure domains, fault plan =="
+echo "== 8/12 health-checked worker pool: heartbeats, failure domains, fault plan =="
 now_ns() { date +%s%N; }
 # Timed plain-exec reference (fresh work dir so nothing resumes) for the
 # pool-overhead snapshot.
@@ -332,7 +339,7 @@ echo "pool byte-identical (plain, dead-worker+hang fault plan); manifest attribu
 echo "snapshot written to BENCH_6.json:"
 cat BENCH_6.json
 
-echo "== 9/11 batched simulation: -sim-batch byte-identity and scaling curve =="
+echo "== 9/12 batched simulation: -sim-batch byte-identity and scaling curve =="
 # The default grid's AB axis (0 vs 16 entries) is simulate-only, so every
 # compile key owns 2 sibling cells — batching has real lanes to merge.
 # Serial batched run: must be byte-identical to the batch-off reference.
@@ -406,7 +413,7 @@ fi
 echo "snapshot written to BENCH_7.json:"
 cat BENCH_7.json
 
-echo "== 10/11 cost-balanced scheduling + work stealing =="
+echo "== 10/12 cost-balanced scheduling + work stealing =="
 # The skew grid: the 2-cluster half compiles in milliseconds, the 8-cluster
 # half in hundreds of milliseconds (two heavy compile-key atoms, one per
 # cache geometry) — the workload shape cost-balanced cuts exist for.
@@ -542,7 +549,7 @@ awk -v count_ms="$count_ms" -v cost_ms="$cost_ms" -v steal_ms="$steal_ms" \
 echo "snapshot written to BENCH_8.json:"
 cat BENCH_8.json
 
-echo "== 11/11 sweep as a service: ivliw-served + ivliw-load =="
+echo "== 11/12 sweep as a service: ivliw-served + ivliw-load =="
 go build -o "$tmp/ivliw-served" ./cmd/ivliw-served
 go build -o "$tmp/ivliw-load" ./cmd/ivliw-load
 # Start the daemon on an ephemeral port: exec launcher over real worker
@@ -645,5 +652,98 @@ fi
 echo "replay clean (1000 submissions, 12 executions); SIGTERM drained exit 0"
 echo "snapshot written to BENCH_9.json:"
 cat BENCH_9.json
+
+echo "== 12/12 static analysis: ivliw-vet clean gate + seeded-violation smoke =="
+go build -o "$tmp/ivliw-vet" ./cmd/ivliw-vet
+# Clean gate, timed: the repo must satisfy its own analyzers. A warm-up run
+# first so the measurement is the analysis, not `go list` compiling export
+# data for the dependency graph.
+"$tmp/ivliw-vet" ./... > /dev/null
+vet_start_ms=$(date +%s%3N)
+if ! "$tmp/ivliw-vet" ./... > "$tmp/vet_repo.txt" 2>&1; then
+  echo "FAIL: ivliw-vet found violations in the repo:" >&2
+  cat "$tmp/vet_repo.txt" >&2
+  exit 1
+fi
+vet_end_ms=$(date +%s%3N)
+vet_wall_ms=$((vet_end_ms - vet_start_ms))
+if [ -s "$tmp/vet_repo.txt" ]; then
+  echo "FAIL: ivliw-vet exited 0 but printed output:" >&2
+  cat "$tmp/vet_repo.txt" >&2
+  exit 1
+fi
+echo "repo clean under all five analyzers (${vet_wall_ms} ms)"
+# Seeded-violation smoke: a scratch module carrying one violation per
+# analyzer. ivliw-vet must exit 1 (not 0: analyzer asleep; not 2: loader
+# broke) and name each expected finding.
+mkdir -p "$tmp/vetsmoke/lib"
+cat > "$tmp/vetsmoke/go.mod" <<'EOF'
+module vetsmoke
+
+go 1.24
+EOF
+cat > "$tmp/vetsmoke/lib/lib.go" <<'EOF'
+package lib
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+)
+
+type T struct{ A int }
+
+func Bad(path string, data []byte) error {
+	var t T
+	if err := json.Unmarshal(data, &t); err != nil {
+		return err
+	}
+	_ = context.Background()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	panic("boom")
+}
+
+//ivliw:bogus not a real verb
+func Weird() {}
+EOF
+rc=0
+"$tmp/ivliw-vet" -dir "$tmp/vetsmoke" ./... > "$tmp/vet_smoke.txt" 2>/dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "FAIL: ivliw-vet exited $rc on the seeded-violation module, want 1:" >&2
+  cat "$tmp/vet_smoke.txt" >&2
+  exit 1
+fi
+for expect in \
+  '\[strictjson\] json.Unmarshal' \
+  '\[ctxplumb\] context.Background' \
+  '\[atomicwrite\] os.WriteFile' \
+  '\[nopanic\] panic in library code' \
+  '\[annotation\] unknown annotation verb "bogus"'; do
+  if ! grep -q "$expect" "$tmp/vet_smoke.txt"; then
+    echo "FAIL: seeded violation not reported (want /$expect/):" >&2
+    cat "$tmp/vet_smoke.txt" >&2
+    exit 1
+  fi
+done
+# -json mode must carry the same findings as a JSON array.
+"$tmp/ivliw-vet" -json -dir "$tmp/vetsmoke" ./... > "$tmp/vet_smoke.json" 2>/dev/null || true
+smoke_lines=$(wc -l < "$tmp/vet_smoke.txt")
+json_count=$(grep -c '"analyzer":' "$tmp/vet_smoke.json")
+if [ "$json_count" -ne "$smoke_lines" ]; then
+  echo "FAIL: -json emitted $json_count findings, text mode $smoke_lines:" >&2
+  cat "$tmp/vet_smoke.json" >&2
+  exit 1
+fi
+echo "seeded-violation smoke: exit 1, all 5 expected diagnostics, -json agrees ($json_count findings)"
+# BENCH_10.json: analyzer cost normalized per KLoC of non-test module source.
+loc=$(find . -name '*.go' -not -name '*_test.go' -not -path './internal/lintcheck/testdata/*' \
+  -exec cat {} + | wc -l)
+ms_per_kloc=$(awk "BEGIN { printf \"%.2f\", $vet_wall_ms * 1000 / $loc }")
+printf '{\n  "snapshot": 10,\n  "date": "%s",\n  "go": "%s",\n  "analyzers": ["atomicwrite", "strictjson", "determinism", "ctxplumb", "nopanic", "annotation"],\n  "repo_findings": 0,\n  "non_test_loc": %s,\n  "wall_ms": %s,\n  "ms_per_kloc": %s\n}\n' \
+  "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(go env GOVERSION)" "$loc" "$vet_wall_ms" "$ms_per_kloc" > BENCH_10.json
+echo "snapshot written to BENCH_10.json:"
+cat BENCH_10.json
 
 echo "CI PASS"

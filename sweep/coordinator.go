@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ivliw/internal/atomicio"
 )
 
 // CoordinatorOptions parameterizes Coordinate: how many shards to cut the
@@ -595,13 +597,13 @@ func (c *coordinator) runShard(ctx context.Context, idx int) error {
 // the concatenation is byte-identical to the unsharded run.
 func (c *coordinator) stitch() (int, error) {
 	var w io.Writer = os.Stdout
-	var out *outputFile
+	var out *atomicio.File
 	if c.spec.Output.Path != "" {
 		var err error
-		if out, err = createOutput(c.spec.Output.Path); err != nil {
-			return 0, err
+		if out, err = atomicio.Create(c.spec.Output.Path); err != nil {
+			return 0, fmt.Errorf("sweep: output: %w", err)
 		}
-		w = out.f
+		w = out
 	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	rows := 0
@@ -615,9 +617,11 @@ func (c *coordinator) stitch() (int, error) {
 	}
 	if out != nil {
 		if err == nil {
-			err = out.commit()
+			if cerr := out.Commit(); cerr != nil {
+				err = fmt.Errorf("sweep: output: %w", cerr)
+			}
 		} else {
-			out.abort()
+			out.Abort()
 		}
 	}
 	if err != nil {

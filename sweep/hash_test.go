@@ -2,6 +2,33 @@ package sweep
 
 import "testing"
 
+// TestSpecHashVector pins Spec.Hash to a committed vector. The hash is a
+// durable identity: it names job directories on disk, keys the serving
+// layer's dedup, and guards coordinator manifest resume — a hash change
+// orphans every existing store. If this test fails, the fingerprint
+// function changed; that must be a deliberate, called-out migration, never
+// a side effect. (The determinism analyzer proves Hash's call graph is
+// wall-clock- and rand-free; this vector proves the bytes themselves.)
+func TestSpecHashVector(t *testing.T) {
+	spec := Spec{
+		Grid: Grid{Clusters: []int{2, 4}},
+		Workloads: Workloads{Synth: []SynthSpec{{
+			Name: "h", Seed: 7, Kernels: 1, Iters: 64, FootprintBytes: 2048,
+		}}},
+		Compile: Compile{Heuristic: "IPBC", Unroll: "none"},
+	}
+	const want = "72cf4f300fa18545d06d729c7fd0db1a5ab630b11d1cdb1925d90d70c52e6657"
+	for i := 0; i < 3; i++ {
+		got, err := spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Spec.Hash = %s, want committed vector %s (run %d); the spec fingerprint changed — existing job stores and manifests will not resume", got, want, i)
+		}
+	}
+}
+
 // TestSpecHashSemantics pins the dedup contract of Spec.Hash: per-process
 // knobs never perturb the fingerprint, semantic inputs always do.
 func TestSpecHashSemantics(t *testing.T) {

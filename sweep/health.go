@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -57,6 +58,7 @@ func WriteBeat(path string, b Beat) error {
 		b.PID = os.Getpid()
 	}
 	if b.UnixNano == 0 {
+		//ivliw:wallclock beat timestamps are liveness metadata read by monitors, never row bytes
 		b.UnixNano = time.Now().UnixNano()
 	}
 	data, err := json.Marshal(b)
@@ -75,8 +77,13 @@ func ReadBeat(path string) (Beat, error) {
 	if err != nil {
 		return Beat{}, fmt.Errorf("sweep: heartbeat: %w", err)
 	}
+	// Strict decode: beats are a wire format crossed between processes;
+	// unknown fields mean a foreign or newer writer, and trusting its
+	// liveness claims (or its done-beat checksum) would be a lie.
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
 	var b Beat
-	if err := json.Unmarshal(data, &b); err != nil {
+	if err := dec.Decode(&b); err != nil {
 		return Beat{}, fmt.Errorf("sweep: heartbeat %s: %w", path, err)
 	}
 	return b, nil

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -8,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"ivliw/internal/atomicio"
 )
 
 // manifestName is the coordinator's durable state file within its work
@@ -133,8 +136,13 @@ func openManifest(dir, hash string, cuts []rowRange) (*manifest, int, error) {
 	}
 	m := fresh()
 	if data, err := os.ReadFile(path); err == nil {
+		// Strict decode: a manifest with fields this build does not know
+		// was written by a different build and cannot be trusted as resume
+		// state — treat it like a spec-hash mismatch and start fresh.
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
 		var prev manifest
-		if json.Unmarshal(data, &prev) == nil && prev.SpecHash == hash && len(prev.Shards) == shards {
+		if dec.Decode(&prev) == nil && prev.SpecHash == hash && len(prev.Shards) == shards {
 			prev.path = path
 			for i := range prev.Shards {
 				s := &prev.Shards[i]
@@ -202,22 +210,7 @@ func (m *manifest) state(i int) shardState {
 // writeFileAtomic writes data to path via a temp file in the same directory
 // and an atomic rename, so readers (including a coordinator restarted after
 // a kill) see either the previous content or the new one, never a prefix.
-// The umask-respecting createTempAt supplies the staging file.
+// internal/atomicio supplies the umask-respecting staging discipline.
 func writeFileAtomic(path string, data []byte) error {
-	f, err := createTempAt(path)
-	if err != nil {
-		return err
-	}
-	_, err = f.Write(data)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(f.Name(), path)
-	}
-	if err != nil {
-		os.Remove(f.Name())
-		return err
-	}
-	return nil
+	return atomicio.WriteFile(path, data)
 }

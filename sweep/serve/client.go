@@ -36,6 +36,15 @@ func (e *APIError) Error() string {
 // retrying after its hint (queue full or draining).
 func (e *APIError) Retryable() bool { return e.Status == http.StatusServiceUnavailable }
 
+// decodeStrict decodes one wire JSON value rejecting unknown fields: the
+// client and server version together in this module, so a field the client
+// does not know means a mismatched peer, not forward compatibility.
+func decodeStrict(data []byte, out any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(out)
+}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
@@ -58,7 +67,7 @@ func (c *Client) do(req *http.Request, out any) error {
 	if resp.StatusCode/100 != 2 {
 		apiErr := &APIError{Status: resp.StatusCode}
 		var e errorResponse
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		if decodeStrict(body, &e) == nil && e.Error != "" {
 			apiErr.Message = e.Error
 		} else {
 			apiErr.Message = string(bytes.TrimSpace(body))
@@ -71,7 +80,7 @@ func (c *Client) do(req *http.Request, out any) error {
 	if out == nil {
 		return nil
 	}
-	if err := json.Unmarshal(body, out); err != nil {
+	if err := decodeStrict(body, out); err != nil {
 		return fmt.Errorf("serve: decoding response: %w", err)
 	}
 	return nil
@@ -120,7 +129,7 @@ func (c *Client) Rows(ctx context.Context, job string, w io.Writer) (int64, erro
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		apiErr := &APIError{Status: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
 		var e errorResponse
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		if decodeStrict(body, &e) == nil && e.Error != "" {
 			apiErr.Message = e.Error
 		}
 		return 0, apiErr

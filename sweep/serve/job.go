@@ -1,16 +1,15 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"io/fs"
-	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 
+	"ivliw/internal/atomicio"
 	"ivliw/sweep"
 )
 
@@ -158,10 +157,16 @@ func recoverJobs(jobsDir string, logf func(string, ...any)) (map[string]*job, []
 		}
 		dir := filepath.Join(jobsDir, e.Name())
 		removeStaleTemps(dir)
+		// Strict decode: job.json is this daemon's own durable record; a
+		// record with unknown fields was written by a different build and
+		// is treated like any other unreadable state — skipped, not
+		// guessed at.
 		var jf jobFile
 		data, err := os.ReadFile(filepath.Join(dir, jobFileName))
 		if err == nil {
-			err = json.Unmarshal(data, &jf)
+			dec := json.NewDecoder(bytes.NewReader(data))
+			dec.DisallowUnknownFields()
+			err = dec.Decode(&jf)
 		}
 		if err != nil {
 			logf("serve: skipping job dir %s: unreadable state: %v", e.Name(), err)
@@ -221,39 +226,10 @@ func shortHash(h string) string {
 
 // writeFileAtomic stages data in a unique temp file beside path and renames
 // it into place, so readers (and a restarted daemon) see either the previous
-// record or the new one, never a prefix. Mirrors the sweep package's file
-// discipline.
+// record or the new one, never a prefix — the module-wide file discipline of
+// internal/atomicio.
 func writeFileAtomic(path string, data []byte) error {
-	f, err := createTempAt(path)
-	if err != nil {
-		return err
-	}
-	_, err = f.Write(data)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(f.Name(), path)
-	}
-	if err != nil {
-		os.Remove(f.Name())
-		return err
-	}
-	return nil
-}
-
-// createTempAt opens a unique `<path>.tmp-*` staging file in path's
-// directory at mode 0666 so the process umask applies.
-func createTempAt(path string) (*os.File, error) {
-	for range 10000 {
-		name := fmt.Sprintf("%s.tmp-%d", path, rand.Int64())
-		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
-		if errors.Is(err, fs.ErrExist) {
-			continue
-		}
-		return f, err
-	}
-	return nil, fmt.Errorf("could not create a staging file for %s", path)
+	return atomicio.WriteFile(path, data)
 }
 
 // removeStaleTemps sweeps up never-renamed staging files a killed writer

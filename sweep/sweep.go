@@ -39,15 +39,13 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
-	"errors"
 	"fmt"
 	"hash"
 	"io"
-	"io/fs"
-	"math/rand/v2"
 	"os"
 	"time"
 
+	"ivliw/internal/atomicio"
 	"ivliw/internal/experiments"
 	"ivliw/internal/pipeline"
 )
@@ -116,21 +114,25 @@ func Run(ctx context.Context, spec Spec, sink Sink) (Stats, error) {
 		defer hb.halt()
 	}
 
-	var out *outputFile
+	// The output stages an all-or-nothing write: rows accumulate in a
+	// staging file in the destination's directory and land via an atomic
+	// rename on commit, so a crashed, canceled or failing run leaves no
+	// truncated file for a later stitch to silently fold in.
+	var out *atomicio.File
 	var flush *bufio.Writer
 	var hasher hash.Hash
 	if sink == nil {
 		var w io.Writer = os.Stdout
 		if spec.Output.Path != "" {
-			if out, err = createOutput(spec.Output.Path); err != nil {
-				return Stats{}, err
+			if out, err = atomicio.Create(spec.Output.Path); err != nil {
+				return Stats{}, fmt.Errorf("sweep: output: %w", err)
 			}
-			w = out.f
+			w = out
 			if hb != nil {
 				// Tee the output bytes through a hasher so the final beat
 				// can certify the committed file without re-reading it.
 				hasher = sha256.New()
-				w = io.MultiWriter(out.f, hasher)
+				w = io.MultiWriter(out, hasher)
 			}
 		}
 		flush = bufio.NewWriter(w)
@@ -181,9 +183,11 @@ func Run(ctx context.Context, spec Spec, sink Sink) (Stats, error) {
 		// shard commits a valid empty file); any failure or cancellation
 		// discards the temp file.
 		if err == nil {
-			err = out.commit()
+			if cerr := out.Commit(); cerr != nil {
+				err = fmt.Errorf("sweep: output: %w", cerr)
+			}
 		} else {
-			out.abort()
+			out.Abort()
 		}
 	}
 	if hb != nil && err == nil {
@@ -210,63 +214,6 @@ func Run(ctx context.Context, spec Spec, sink Sink) (Stats, error) {
 		return st, err
 	}
 	return st, nil
-}
-
-// outputFile stages an all-or-nothing output write: rows accumulate in a
-// temp file in the destination's directory and land via an atomic rename on
-// commit, so a crashed, canceled or failing run leaves no truncated file
-// for a later stitch to silently fold in.
-type outputFile struct {
-	f    *os.File
-	path string
-}
-
-// createOutput opens the staging temp file next to path (same directory, so
-// the commit rename never crosses a filesystem).
-func createOutput(path string) (*outputFile, error) {
-	f, err := createTempAt(path)
-	if err != nil {
-		return nil, fmt.Errorf("sweep: output: %w", err)
-	}
-	return &outputFile{f: f, path: path}, nil
-}
-
-// createTempAt opens a unique `<path>.tmp-*` staging file in path's
-// directory, created at mode 0666 so the process umask applies — the
-// published file ends up with exactly the permissions a plain
-// os.Create(path) would have given it (os.CreateTemp's fixed 0600/0644
-// choices would either lock collaborators out or ignore a restrictive
-// umask). Unique names matter: straggler twins may stage the same
-// destination concurrently.
-func createTempAt(path string) (*os.File, error) {
-	for range 10000 {
-		name := fmt.Sprintf("%s.tmp-%d", path, rand.Int64())
-		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
-		if errors.Is(err, fs.ErrExist) {
-			continue
-		}
-		return f, err
-	}
-	return nil, fmt.Errorf("could not create a staging file for %s", path)
-}
-
-// commit publishes the staged bytes at the destination path atomically.
-func (o *outputFile) commit() error {
-	err := o.f.Close()
-	if err == nil {
-		err = os.Rename(o.f.Name(), o.path)
-	}
-	if err != nil {
-		os.Remove(o.f.Name())
-		return fmt.Errorf("sweep: output: %w", err)
-	}
-	return nil
-}
-
-// abort discards the staged bytes, leaving the destination untouched.
-func (o *outputFile) abort() {
-	o.f.Close()
-	os.Remove(o.f.Name())
 }
 
 // open builds the configured store stack: an in-memory single-flight LRU,
